@@ -1,0 +1,93 @@
+"""E13 (ablation) — placement-aware dispatch on a heterogeneous fleet.
+
+Paper anchor (abstract): Triana "can support the user in making placement
+decisions for their modules"; §4: discovery by "CPU capability".  Real
+consumer fleets are heterogeneous — we compare blind round-robin against
+capability-weighted dispatch on a fleet that mixes 4 GHz and 1 GHz
+volunteers.
+"""
+
+from repro.analysis import render_table
+from repro.core import TaskGraph
+from repro.grid import ConsumerGrid
+from repro.p2p import LAN_PROFILE, NodeProfile, Peer
+from repro.service import TrianaService
+
+
+def heavy_graph():
+    g = TaskGraph("farm")
+    g.add_task("Wave", "Wave", samples=8192)
+    g.add_task("FFT", "FFT")
+    g.add_task("Grapher", "Grapher")
+    g.connect("Wave", 0, "FFT", 0)
+    g.connect("FFT", 0, "Grapher", 0)
+    g.group_tasks("G", ["FFT"], policy="parallel")
+    return g
+
+
+def build_hetero_grid(seed, fast_cpus=2, slow_cpus=2):
+    grid = ConsumerGrid(
+        n_workers=fast_cpus,
+        seed=seed,
+        worker_profile=NodeProfile(
+            cpu_flops=4e9, up_bps=LAN_PROFILE.up_bps,
+            down_bps=LAN_PROFILE.down_bps, latency_s=LAN_PROFILE.latency_s,
+        ),
+        controller_profile=LAN_PROFILE,
+        worker_efficiency=1e-5,
+    )
+    for i in range(slow_cpus):
+        peer = Peer(
+            f"slow-{i}",
+            grid.network,
+            profile=NodeProfile(
+                cpu_flops=1e9, up_bps=LAN_PROFILE.up_bps,
+                down_bps=LAN_PROFILE.down_bps, latency_s=LAN_PROFILE.latency_s,
+            ),
+        )
+        grid.discovery.attach(peer)
+        svc = TrianaService(peer, repository_host="portal", efficiency=1e-5)
+        grid.discovery.publish(peer, svc.advertisement())
+        grid.workers[peer.peer_id] = svc
+        grid.worker_peers[peer.peer_id] = peer
+    grid.sim.run()
+    return grid
+
+
+def run_dispatch_ablation(iterations=24):
+    rows = []
+    for dispatch, seed in (("round_robin", 301), ("weighted", 302)):
+        grid = build_hetero_grid(seed)
+        report = grid.run(heavy_graph(), iterations=iterations, dispatch=dispatch)
+        loads = {w: svc.stats.iterations for w, svc in grid.workers.items()}
+        rows.append(
+            {
+                "dispatch": dispatch,
+                "makespan_s": report.makespan,
+                "fast_load": sum(v for k, v in loads.items() if k.startswith("worker")),
+                "slow_load": sum(v for k, v in loads.items() if k.startswith("slow")),
+            }
+        )
+    return rows
+
+
+def test_e13_dispatch_ablation(benchmark, save_result):
+    rows = benchmark.pedantic(run_dispatch_ablation, rounds=1, iterations=1)
+    by = {r["dispatch"]: r for r in rows}
+    assert by["weighted"]["makespan_s"] < 0.8 * by["round_robin"]["makespan_s"]
+    assert by["weighted"]["fast_load"] > by["weighted"]["slow_load"]
+    save_result(
+        "e13_dispatch",
+        render_table(
+            ["dispatch", "makespan (s)", "iters on 4 GHz pair",
+             "iters on 1 GHz pair"],
+            [
+                (r["dispatch"], r["makespan_s"], r["fast_load"], r["slow_load"])
+                for r in rows
+            ],
+            title=(
+                "E13  heterogeneous farm (2× 4 GHz + 2× 1 GHz volunteers, "
+                "24 frames)"
+            ),
+        ),
+    )

@@ -1,0 +1,48 @@
+"""E14 (ablation) — which axis to split the inspiral search on.
+
+Paper anchor (§3.6.2): "since it is a massively parallel problem we
+believe it can be solved ... by simply distributing the code to as many
+computers that are available" — the paper farms whole *chunks*.  The
+alternative is to split the *template bank*: every worker receives every
+chunk but correlates only 1/k of the templates.  This ablation shows why
+the paper's choice is the right one on consumer uplinks: template
+splitting multiplies the wire volume by k and over-subscribes the data
+source's uplink, while chunk farming ships each chunk once.
+"""
+
+from repro.analysis import e14_split_axis, render_table
+
+
+def test_e14_split_axis(benchmark, save_result):
+    result = benchmark.pedantic(
+        e14_split_axis, kwargs={"n_workers": 20}, rounds=3, iterations=1
+    )
+    rows = result["rows"]
+    chunk_row = rows[0]
+    template_row = rows[1]
+    # Same steady-state compute need either way (20 workers).
+    assert chunk_row["steady_state_workers_needed"] == 20.0
+    # Template split: k× the bytes, and the source uplink is oversubscribed
+    # (>1 share means the uplink cannot keep up with the detector).
+    assert template_row["transfers_per_chunk_mb"] == 20 * chunk_row["transfers_per_chunk_mb"]
+    assert chunk_row["uplink_share_per_chunk"] < 1.0
+    assert template_row["uplink_share_per_chunk"] > 1.0
+    # The only thing template split buys is per-chunk latency.
+    assert template_row["per_chunk_latency_h"] < chunk_row["per_chunk_latency_h"]
+    save_result(
+        "e14_split",
+        render_table(
+            ["axis", "MB shipped per chunk", "per-chunk latency (h)",
+             "workers needed", "source-uplink share"],
+            [
+                (r["axis"], r["transfers_per_chunk_mb"],
+                 r["per_chunk_latency_h"], r["steady_state_workers_needed"],
+                 r["uplink_share_per_chunk"])
+                for r in rows
+            ],
+            title=(
+                "E14  splitting axis at paper scale (7.2 MB chunks, 5000 "
+                "templates, 256 kbit/s source uplink)"
+            ),
+        ),
+    )

@@ -1,0 +1,28 @@
+"""E1 — Fig. 1 + Code Segment 1: workflow construction & XML round-trip.
+
+Paper anchor: the visual Fig. 1 network and its XML task-graph encoding
+("the graph itself is a text file that does not consume many resources").
+We regenerate the workflow through the API, serialise, parse, re-execute,
+and report graph size and the recovered signal.
+"""
+
+from repro.analysis import e1_workflow_roundtrip, render_kv
+
+
+def test_e1_workflow_roundtrip(benchmark, save_result):
+    result = benchmark.pedantic(e1_workflow_roundtrip, rounds=3, iterations=1)
+    assert result["roundtrip_stable"]
+    assert result["peak_hz"] == 64.0
+    save_result(
+        "e1_workflow",
+        render_kv(
+            [
+                ("tasks in Fig.1 network", result["tasks"]),
+                ("units inside GroupTask", result["group_members"]),
+                ("task-graph XML size (bytes)", result["xml_bytes"]),
+                ("XML round-trip stable", result["roundtrip_stable"]),
+                ("recovered peak (Hz)", result["peak_hz"]),
+            ],
+            title="E1  Fig.1 workflow + Code Segment 1 XML round-trip",
+        ),
+    )

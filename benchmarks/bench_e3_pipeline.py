@@ -1,0 +1,41 @@
+"""E3 — Fig. 3/4: the distributed pipelined linear network.
+
+Paper anchor: "behave as a macroscopic pipeline processor where one
+machine performs one specific task and then pipes data onto another
+machine" and Fig. 4's "simple distributed pipelined linear network".
+We measure makespan vs pipeline depth against the sequential and ideal-
+pipeline bounds: stages overlap, so gain approaches the stage count.
+"""
+
+from repro.analysis import e3_pipeline_throughput, render_table
+
+
+def test_e3_pipeline_throughput(benchmark, save_result):
+    result = benchmark.pedantic(
+        e3_pipeline_throughput,
+        kwargs={"stage_counts": (2, 4, 8), "iterations": 16},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            r["stages"],
+            r["makespan_s"],
+            r["sequential_s"],
+            r["ideal_pipeline_s"],
+            r["pipeline_gain"],
+        )
+        for r in result["rows"]
+    ]
+    # Pipelining must beat sequential and track the ideal bound.
+    for r in result["rows"]:
+        assert r["makespan_s"] < 0.75 * r["sequential_s"]
+        assert r["makespan_s"] >= 0.9 * r["ideal_pipeline_s"]
+    save_result(
+        "e3_pipeline",
+        render_table(
+            ["stages", "makespan (s)", "sequential (s)", "ideal pipe (s)", "gain"],
+            rows,
+            title=f"E3  p2p pipeline over peers, {result['iterations']} frames",
+        ),
+    )

@@ -1,0 +1,34 @@
+"""E4 — Case 1: galaxy-formation frame farm speedup.
+
+Paper anchor: "the user can visualise the galaxy formation in a fraction
+of the time than it would if the simulation was performed on a single
+machine" (§3.6.1, demonstrated at the 2002 All Hands Meeting).
+We farm SPH column-density rendering over 1..8 peers and report the
+speedup curve.
+"""
+
+from repro.analysis import e4_galaxy_speedup, render_table
+
+
+def test_e4_galaxy_speedup(benchmark, save_result):
+    result = benchmark.pedantic(
+        e4_galaxy_speedup,
+        kwargs={"worker_counts": (1, 2, 4, 8), "n_frames": 16},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (r["workers"], r["makespan_s"], r["speedup"], r["efficiency"])
+        for r in result["rows"]
+    ]
+    by_workers = {r["workers"]: r for r in result["rows"]}
+    assert by_workers[4]["speedup"] > 3.0
+    assert by_workers[8]["speedup"] > 5.0
+    save_result(
+        "e4_galaxy",
+        render_table(
+            ["workers", "makespan (s)", "speedup", "efficiency"],
+            rows,
+            title=f"E4  galaxy render farm, {result['frames']} frames",
+        ),
+    )

@@ -1,0 +1,56 @@
+"""E5 — Case 2: inspiral real-time sizing under volunteer churn.
+
+Paper anchors (§3.6.2): 2,000 S/s → 900 s chunks = 7.2 MB; 5,000–10,000
+templates; "about 5 hours on a 2 GHz PC"; "therefore, 20 PC's would need
+to be employed full-time to keep up"; "Within a Consumer Grid scenario
+the number of PCs would need to be increased due to various types of
+downtime"; "it can lag behind by several hours if necessary".
+
+The cost model is calibrated so one chunk = 5 h on 2 GHz; the fleet
+simulation then finds the dedicated and consumer break-even points.
+"""
+
+from repro.analysis import e5_inspiral_sizing, render_table
+from repro.apps.inspiral import PAPER_CHUNK_BYTES
+
+
+def test_e5_inspiral_sizing(benchmark, save_result):
+    result = benchmark.pedantic(
+        e5_inspiral_sizing,
+        kwargs={"peer_counts": (10, 15, 20, 25, 30, 40), "n_chunks": 60},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            r["fleet"],
+            r["peers"],
+            round(r["mean_lag_s"] / 3600.0, 2),
+            round(r["lag_slope"], 3),
+            r["keeps_up"],
+        )
+        for r in result["rows"]
+    ]
+    by = {(r["fleet"], r["peers"]): r for r in result["rows"]}
+    # The paper's break-even: 20 dedicated PCs keep up, fewer do not.
+    assert result["analytic_dedicated_pcs"] == 20.0
+    assert by[("dedicated", 20)]["keeps_up"]
+    assert not by[("dedicated", 15)]["keeps_up"]
+    # Consumers need more than 20 (analytically 30 at 2/3 availability).
+    assert not by[("consumer", 20)]["keeps_up"]
+    assert by[("consumer", 40)]["keeps_up"]
+    header = (
+        f"E5  inspiral real-time sizing  (chunk = {PAPER_CHUNK_BYTES/1e6:.1f} MB, "
+        f"5000 templates, 5 h/chunk on 2 GHz)\n"
+        f"analytic: {result['analytic_dedicated_pcs']:.0f} dedicated PCs, "
+        f"{result['analytic_consumer_pcs']:.0f} consumer peers at "
+        f"{result['availability']:.0%} availability\n"
+    )
+    save_result(
+        "e5_inspiral",
+        header
+        + render_table(
+            ["fleet", "peers", "mean lag (h)", "lag growth", "keeps up"],
+            rows,
+        ),
+    )

@@ -1,0 +1,46 @@
+"""E7 — discovery-protocol scaling: flooding vs rendezvous vs central.
+
+Paper anchor (§4): "A number of P2P application utilise a 'flooding'
+mechanism to forward messages to maximise reachability.  This severely
+restricts the scalability of such approaches"; Triana uses JXTA
+rendezvous discovery instead, and the paper cites Napster's central
+index as prior art.  We make the claim quantitative: messages per query
+vs network size for all three strategies.
+"""
+
+from repro.analysis import e7_discovery_scaling, render_table
+
+
+def test_e7_discovery_scaling(benchmark, save_result):
+    result = benchmark.pedantic(
+        e7_discovery_scaling,
+        kwargs={"sizes": (16, 64, 256)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (r["peers"], r["strategy"], r["messages_per_query"], r["recall"],
+         r["latency_s"])
+        for r in result["rows"]
+    ]
+    by = {(r["peers"], r["strategy"]): r for r in result["rows"]}
+    # Flooding cost grows with the network; rendezvous and central do not.
+    assert (
+        by[(256, "flooding")]["messages_per_query"]
+        > 10 * by[(16, "flooding")]["messages_per_query"]
+    )
+    assert (
+        by[(256, "rendezvous")]["messages_per_query"]
+        == by[(16, "rendezvous")]["messages_per_query"]
+    )
+    assert by[(256, "central")]["messages_per_query"] == 2
+    for r in result["rows"]:
+        assert r["recall"] == 1.0
+    save_result(
+        "e7_discovery",
+        render_table(
+            ["peers", "strategy", "msgs/query", "recall", "latency (s)"],
+            rows,
+            title="E7  discovery scaling (one query for all services)",
+        ),
+    )

@@ -1,0 +1,55 @@
+"""E8 — code mobility: on-demand download vs sticky caching.
+
+Paper anchor (§3): the on-demand model "overcomes the problem of having
+inconsistent versions of executables (as the executable must be requested
+from the owner whenever an execution is to be undertaken)" and suits
+"resource-constrained device[s]" that "selectively download and release
+executable modules".  We measure the version-consistency / traffic trade
+and LRU behaviour under a Zipf module workload with periodic releases.
+"""
+
+from repro.analysis import e8_mobility, render_table
+
+
+def test_e8_mobility(benchmark, save_result):
+    result = benchmark.pedantic(
+        e8_mobility,
+        kwargs={"n_modules": 60, "n_requests": 300, "capacities": (4, 16, 64)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            r["policy"],
+            r["cache_slots"],
+            r["bytes_downloaded"],
+            r["network_messages"],
+            r["evictions"],
+            r["stale_executions"],
+        )
+        for r in result["rows"]
+    ]
+    by = {(r["policy"], r["cache_slots"]): r for r in result["rows"]}
+    # On-demand: zero stale executions at any cache size (the paper's
+    # consistency claim); sticky: cheaper but can run stale code.
+    for slots in (4, 16, 64):
+        assert by[("on_demand", slots)]["stale_executions"] == 0
+    assert by[("sticky", 64)]["stale_executions"] > 0
+    assert (
+        by[("sticky", 64)]["bytes_downloaded"]
+        < by[("on_demand", 64)]["bytes_downloaded"]
+    )
+    # Constrained devices evict under pressure.
+    assert by[("on_demand", 4)]["evictions"] > by[("on_demand", 64)]["evictions"]
+    save_result(
+        "e8_mobility",
+        render_table(
+            ["policy", "cache slots", "bytes dl", "messages", "evictions",
+             "stale execs"],
+            rows,
+            title=(
+                f"E8  module mobility: {result['modules']} modules, "
+                "Zipf requests, releases every 50 requests"
+            ),
+        ),
+    )

@@ -1,0 +1,53 @@
+"""E9 — volunteer harvest + administration contrast.
+
+Paper anchors: SETI@home's "668852.233 years" of harvested CPU (§3.7) —
+idle-time volunteering scales linearly with fleet size at the idle
+fraction; and §2's administration critique — "If thousands of users
+wanted access to a resource it would be a daunting task indeed for any
+administrator" vs "the creation of a single Globus account" with billing.
+"""
+
+from repro.analysis import e9_volunteer_throughput, render_kv, render_table
+
+
+def test_e9_volunteer_throughput(benchmark, save_result):
+    result = benchmark.pedantic(
+        e9_volunteer_throughput,
+        kwargs={"fleet_sizes": (100, 500), "days": 7.0, "idle_fraction": 0.6},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            r["volunteers"],
+            r["days"],
+            r["harvested_cpu_years"],
+            r["ceiling_cpu_years"],
+            r["harvest_fraction"],
+        )
+        for r in result["rows"]
+    ]
+    for r in result["rows"]:
+        assert 0.4 < r["harvest_fraction"] < 0.65  # tracks the idle fraction
+    big, small = result["rows"][-1], result["rows"][0]
+    ratio = big["harvested_cpu_years"] / small["harvested_cpu_years"]
+    assert ratio > 4.0  # linear scaling with fleet size
+    admin = result["admin"]
+    assert admin["globus_admin_operations"] == admin["users"]
+    assert admin["virtual_admin_operations"] == 1
+    table = render_table(
+        ["volunteers", "days", "cpu-years harvested", "ceiling", "fraction"],
+        rows,
+        title="E9  screensaver-time harvest (idle fraction 0.6)",
+    )
+    contrast = render_kv(
+        [
+            ("users", admin["users"]),
+            ("Globus admin operations", admin["globus_admin_operations"]),
+            ("CA certificates issued", admin["globus_certificates"]),
+            ("virtual-account admin operations", admin["virtual_admin_operations"]),
+            ("virtual-account billing lines", admin["virtual_billing_lines"]),
+        ],
+        title="\nadministration contrast (Globus per-user accounts vs Triana virtual account)",
+    )
+    save_result("e9_volunteer", table + "\n" + contrast)

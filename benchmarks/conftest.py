@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench prints its paper-comparable table *and* writes it to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be regenerated /
+checked without re-running everything.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist a rendered table; returns the path written."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

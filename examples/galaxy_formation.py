@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Case 1: galaxy-formation animation over a Consumer Grid (§3.6.1).
+
+Generates a synthetic collapsing-galaxy particle dataset, farms the SPH
+column-density rendering of each time-slice over volunteer peers with the
+``parallel`` policy, reassembles the animation in frame order, then
+re-renders from a different viewing angle — "messages are then sent to
+all the distributed servers so that the new data slice through each time
+frame can be calculated and returned".
+
+Run with::
+
+    python examples/galaxy_formation.py
+"""
+
+import numpy as np
+
+from repro import ConsumerGrid
+from repro.analysis import render_kv, render_table
+from repro.apps.galaxy import build_galaxy_graph, generate_snapshots
+from repro.p2p import LAN_PROFILE
+
+N_FRAMES = 12
+N_PARTICLES = 600
+RESOLUTION = 40
+
+
+def ascii_frame(pixels: np.ndarray, width: int = 40) -> str:
+    shades = " .:-=+*#%@"
+    img = pixels / (pixels.max() or 1.0)
+    rows = []
+    step = max(len(img) // (width // 2), 1)
+    for r in range(0, len(img), step * 2):
+        row = "".join(
+            shades[min(int(img[r, c] ** 0.4 * (len(shades) - 1)), len(shades) - 1)]
+            for c in range(0, img.shape[1], step)
+        )
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def render_view(view: str, seed: int) -> None:
+    key = f"galaxy-example-{view}"
+    generate_snapshots(N_FRAMES, N_PARTICLES, seed=7, register_as=key)
+    grid = ConsumerGrid(
+        n_workers=4,
+        seed=seed,
+        worker_profile=LAN_PROFILE,
+        controller_profile=LAN_PROFILE,
+        worker_efficiency=1e-5,  # compute-dominated so speedup is visible
+    )
+    graph = build_galaxy_graph(key, resolution=RESOLUTION, view=view,
+                               policy="parallel")
+    report = grid.run(graph, iterations=N_FRAMES)
+    collector = grid.controller.last_downstream.units["Collector"]
+    animation = collector.animation()
+    per_worker = {
+        w: svc.stats.iterations for w, svc in grid.workers.items()
+    }
+    print(render_kv(
+        [
+            ("view", view),
+            ("frames rendered", animation.shape[0]),
+            ("grid makespan (s)", report.makespan),
+            ("frames per worker", per_worker),
+        ],
+        title=f"\n== render pass: {view} plane ==",
+    ))
+    print("\nfirst frame (diffuse sphere):")
+    print(ascii_frame(animation[0]))
+    print("\nlast frame (collapsed, spun-up disc):")
+    print(ascii_frame(animation[-1]))
+
+
+def main() -> None:
+    render_view("xy", seed=101)
+    # "the visualisation unit has controls that allow the manipulation of
+    # the view" — an edge-on re-render goes back out to every server.
+    render_view("xz", seed=102)
+
+    # Speedup summary: 1 vs 4 workers on identical work.
+    rows = []
+    for k in (1, 2, 4):
+        key = f"galaxy-speedup-{k}"
+        generate_snapshots(N_FRAMES, N_PARTICLES, seed=7, register_as=key)
+        grid = ConsumerGrid(
+            n_workers=k, seed=200 + k,
+            worker_profile=LAN_PROFILE, controller_profile=LAN_PROFILE,
+            worker_efficiency=1e-5,
+        )
+        report = grid.run(
+            build_galaxy_graph(key, resolution=RESOLUTION), iterations=N_FRAMES
+        )
+        rows.append((k, report.makespan))
+    base = rows[0][1]
+    print("\n" + render_table(
+        ["workers", "makespan (s)", "speedup"],
+        [(k, m, base / m) for k, m in rows],
+        title="'in a fraction of the time': farm speedup",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: build the paper's Fig. 1 workflow and run it three ways.
+
+1. locally (the Triana engine on your own machine),
+2. farmed over a simulated Consumer Grid (``parallel`` policy),
+3. pipelined peer-to-peer (``p2p`` policy),
+
+printing the recovered signal each time.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ConsumerGrid, LocalEngine, TaskGraph
+from repro.analysis import render_kv, spectrum_snr
+
+
+def build_fig1(policy: str) -> TaskGraph:
+    """Wave → GaussianNoise → FFT → PowerSpectrum → AccumStat → Grapher,
+    with the Gaussian+FFT pair grouped for distribution (Code Segment 1)."""
+    g = TaskGraph("fig1")
+    g.add_task("Wave", "Wave", frequency=64.0, amplitude=0.2,
+               samples=1024, sampling_rate=1024.0)
+    g.add_task("Gaussian", "GaussianNoise", sigma=2.0)
+    g.add_task("FFT", "FFT")
+    g.add_task("Power", "PowerSpectrum")
+    g.add_task("Accum", "AccumStat")
+    g.add_task("Grapher", "Grapher")
+    for a, b in [("Wave", "Gaussian"), ("Gaussian", "FFT"), ("FFT", "Power"),
+                 ("Power", "Accum"), ("Accum", "Grapher")]:
+        g.connect(a, 0, b, 0)
+    g.group_tasks("GroupTask", ["Gaussian", "FFT"], policy=policy)
+    return g
+
+
+def describe(label: str, spectrum) -> None:
+    peak_hz = spectrum.frequencies()[np.argmax(spectrum.data)]
+    snr = spectrum_snr(spectrum, signal_hz=64.0)
+    print(render_kv(
+        [("peak frequency (Hz)", float(peak_hz)), ("SNR", snr)],
+        title=f"\n== {label} ==",
+    ))
+
+
+def main() -> None:
+    iterations = 20
+
+    # 1. Local execution.
+    engine = LocalEngine(build_fig1(policy="none"))
+    probe = engine.attach_probe("Accum")
+    engine.run(iterations=iterations)
+    describe("local engine", probe.last)
+
+    # 2. Parallel farm over four volunteer peers.
+    grid = ConsumerGrid(n_workers=4, seed=42)
+    report = grid.run(build_fig1("parallel"), iterations=iterations,
+                      probes=("Accum",))
+    describe("consumer grid, parallel farm", report.probe_values["Accum"][-1])
+    # Note: the farm replicates the group's GaussianNoise unit (same seed)
+    # on every worker, so noise repeats across replicas and the averaging
+    # gain is reduced — farm stateless groups, or pipeline stateful ones.
+    print(render_kv(
+        [
+            ("workers used", len(set(report.placements.values()))),
+            ("deploy time (s)", report.deploy_time),
+            ("makespan (s)", report.makespan),
+        ]
+    ))
+
+    # 3. Peer-to-peer pipeline of the same group.
+    grid2 = ConsumerGrid(n_workers=2, seed=43)
+    report2 = grid2.run(build_fig1("p2p"), iterations=iterations,
+                        probes=("Accum",))
+    describe("consumer grid, p2p pipeline", report2.probe_values["Accum"][-1])
+    print(render_kv([("stage placements", dict(report2.placements))]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Fig. 1 + Fig. 2 reproduction: pull a sine wave out of heavy noise.
+
+"creates a sine wave, contaminates it with Gaussian-noise, takes its
+power spectrum and then uses a unit called AccumStat to average the
+spectra over successive iterations to remove the noise" — Fig. 2 shows
+the signal buried after 1 iteration and clearly visible after 20.
+
+This script prints the SNR after each iteration, an ASCII rendering of
+the averaged spectrum at n=1 and n=20, and the XML task graph (the
+Code Segment 1 wire format).
+
+Run with::
+
+    python examples/signal_denoise.py
+"""
+
+import numpy as np
+
+from repro import graph_to_string
+from repro.analysis import (
+    e2_accumstat_snr,
+    fig1_grouped,
+    render_table,
+)
+
+
+def ascii_spectrum(spectrum, width: int = 64, height: int = 8) -> str:
+    """Crude terminal spectrum plot (log-ish scaling)."""
+    data = spectrum.data[: len(spectrum.data) // 2]
+    bins = np.array_split(data, width)
+    levels = np.array([b.max() for b in bins])
+    levels = levels / levels.max()
+    rows = []
+    for h in range(height, 0, -1):
+        row = "".join("#" if lvl * height >= h else " " for lvl in levels)
+        rows.append(row)
+    axis = "-" * width
+    return "\n".join(rows) + "\n" + axis
+
+
+def main() -> None:
+    result = e2_accumstat_snr(max_iterations=20)
+    print(render_table(
+        ["iterations", "SNR", "64 Hz is the tallest peak"],
+        [(n, s, peak) for n, s, peak in result["series"]],
+        title="AccumStat averaging: SNR of the 64 Hz line vs iterations",
+    ))
+    print(f"\nSNR gain after 20 iterations: {result['gain']:.2f}x "
+          f"(√20 = {result['sqrt_n']:.2f} is the ideal white-noise gain)")
+
+    # Recreate the two panels of Fig. 2.
+    from repro.core import LocalEngine
+    from repro.analysis import fig1_graph
+
+    engine = LocalEngine(fig1_graph())
+    probe = engine.attach_probe("Accum")
+    engine.run(1)
+    after_1 = probe.last
+    engine.run(19)
+    after_20 = probe.last
+    print("\nAveraged power spectrum after 1 iteration "
+          "(signal buried in the noise):")
+    print(ascii_spectrum(after_1))
+    print("\nAveraged power spectrum after 20 iterations "
+          "(64 Hz line clearly visible):")
+    print(ascii_spectrum(after_20))
+
+    print("\nThe task-graph XML a Triana peer would receive "
+          "(Code Segment 1 equivalent):\n")
+    print(graph_to_string(fig1_grouped()))
+
+
+if __name__ == "__main__":
+    main()

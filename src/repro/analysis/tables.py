@@ -1,0 +1,62 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every experiment prints its results as aligned text tables, so the bench
+output can be compared line-by-line with the paper's claims in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["render_table", "render_kv", "fmt"]
+
+
+def fmt(value: Any, precision: int = 3) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[fmt(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[tuple[str, Any]], title: str | None = None) -> str:
+    """Render key/value summary lines."""
+    items = list(pairs)
+    width = max((len(k) for k, _v in items), default=0)
+    lines = [title] if title else []
+    for k, v in items:
+        lines.append(f"{k.ljust(width)}  {fmt(v)}")
+    return "\n".join(lines)

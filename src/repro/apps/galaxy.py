@@ -1,0 +1,315 @@
+"""Case 1 — galaxy-formation visualisation (§3.6.1).
+
+"Galaxy and star formation simulation codes generate binary data files
+that represent a series of particles in three dimensions ... It is
+possible to distribute each time slice or frame over a number of
+processes and calculate the different views based on the point of view
+in parallel. ... The loaded data is ... separated into frames,
+distributed amongst the various Triana servers ... and processed to
+calculate the column density using smooth particle hydrodynamics."
+
+This module provides the full workload:
+
+* :func:`generate_snapshots` — a synthetic collapsing-Plummer-sphere
+  particle dataset (the Cardiff group's binary files are not available;
+  the substitution preserves per-frame independent rendering work of
+  tunable cost);
+* :class:`DataReader` — the single loader unit at the controller;
+* :class:`ColumnDensity` — the SPH projection renderer (a real cubic-
+  spline scatter, not a stub), with a view parameter so "the user can
+  ... vary the perspective of view";
+* :class:`FrameCollector` — the visualisation sink that animates frames
+  **in order**;
+* :func:`build_galaxy_graph` — the distributable task graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.errors import UnitError
+from ..core.registry import register_unit
+from ..core.types import ImageData, ParticleSnapshot
+from ..core.units import ParamSpec, Unit
+from ..core.taskgraph import TaskGraph
+
+__all__ = [
+    "generate_snapshots",
+    "register_dataset",
+    "sph_column_density",
+    "view_rotation",
+    "DataReader",
+    "ColumnDensity",
+    "FrameCollector",
+    "build_galaxy_graph",
+]
+
+#: Dataset registry: DataReader units reference datasets by key so the
+#: task-graph XML stays a small text file (the data itself is shipped as
+#: payloads, exactly like the paper's "data file is loaded by a single
+#: Data Reader Unit ... and passed to all the Triana nodes").
+_DATASETS: dict[str, list[ParticleSnapshot]] = {}
+
+
+def register_dataset(key: str, snapshots: Sequence[ParticleSnapshot]) -> None:
+    """Make a snapshot series available to DataReader units."""
+    _DATASETS[key] = list(snapshots)
+
+
+def generate_snapshots(
+    n_frames: int = 16,
+    n_particles: int = 2000,
+    seed: int = 0,
+    register_as: str | None = None,
+) -> list[ParticleSnapshot]:
+    """Synthesise a collapsing, rotating Plummer sphere over time.
+
+    Each frame is one "snap shot in time of the total data set"; frames
+    are independent render inputs, which is what makes the parallel farm
+    policy applicable.
+    """
+    if n_frames < 1 or n_particles < 1:
+        raise ValueError("n_frames and n_particles must be >= 1")
+    rng = np.random.default_rng(seed)
+    # Plummer-sphere radial profile.
+    a = 1.0
+    u = rng.random(n_particles)
+    r = a / np.sqrt(u ** (-2.0 / 3.0) - 1.0)
+    r = np.clip(r, 0, 5 * a)
+    costheta = rng.uniform(-1, 1, n_particles)
+    phi = rng.uniform(0, 2 * np.pi, n_particles)
+    sintheta = np.sqrt(1 - costheta**2)
+    pos0 = np.column_stack(
+        [
+            r * sintheta * np.cos(phi),
+            r * sintheta * np.sin(phi),
+            r * costheta,
+        ]
+    )
+    masses = np.full(n_particles, 1.0 / n_particles)
+    smoothing = 0.1 + 0.2 * r / (5 * a)
+
+    frames = []
+    for k in range(n_frames):
+        t = k / max(n_frames - 1, 1)
+        # Collapse radially and spin up around z, like a forming disc.
+        shrink = 1.0 - 0.5 * t
+        angle = 2.0 * np.pi * t
+        c, s = np.cos(angle * (1.0 + r / a)), np.sin(angle * (1.0 + r / a))
+        x = shrink * (pos0[:, 0] * c - pos0[:, 1] * s)
+        y = shrink * (pos0[:, 0] * s + pos0[:, 1] * c)
+        z = pos0[:, 2] * (1.0 - 0.8 * t)  # flatten into a disc
+        frames.append(
+            ParticleSnapshot(
+                positions=np.column_stack([x, y, z]),
+                masses=masses.copy(),
+                smoothing=smoothing * shrink,
+                time=float(t),
+            )
+        )
+    if register_as is not None:
+        register_dataset(register_as, frames)
+    return frames
+
+
+_VIEW_AXES = {"xy": (0, 1), "xz": (0, 2), "yz": (1, 2)}
+
+
+def view_rotation(theta: float, phi: float) -> np.ndarray:
+    """Rotation matrix for an arbitrary viewing direction.
+
+    ``theta`` tilts about the x axis, ``phi`` spins about the z axis
+    (radians); the projection plane is the rotated frame's xy plane —
+    "the ability to vary the perspective of view" continuously.
+    """
+    ct, st = np.cos(theta), np.sin(theta)
+    cp, sp = np.cos(phi), np.sin(phi)
+    rot_z = np.array([[cp, -sp, 0.0], [sp, cp, 0.0], [0.0, 0.0, 1.0]])
+    rot_x = np.array([[1.0, 0.0, 0.0], [0.0, ct, -st], [0.0, st, ct]])
+    return rot_x @ rot_z
+
+
+def sph_column_density(
+    snapshot: ParticleSnapshot,
+    resolution: int = 64,
+    view: str = "xy",
+    extent: float = 2.5,
+    theta: float = 0.0,
+    phi: float = 0.0,
+) -> np.ndarray:
+    """Project particles to a 2-D column-density map with an SPH kernel.
+
+    ``view`` picks an axis-aligned plane; non-zero ``theta``/``phi``
+    rotate the frame first, giving arbitrary perspectives.  Uses the
+    standard cubic-spline (M4) kernel truncated at 2h, scattered onto the
+    grid per particle.  Returns a (resolution, resolution) array.
+    """
+    if view not in _VIEW_AXES:
+        raise ValueError(f"unknown view {view!r}; valid: {sorted(_VIEW_AXES)}")
+    if resolution < 4:
+        raise ValueError("resolution must be >= 4")
+    positions = snapshot.positions
+    if theta != 0.0 or phi != 0.0:
+        positions = positions @ view_rotation(theta, phi).T
+    ax, ay = _VIEW_AXES[view]
+    xs = positions[:, ax]
+    ys = positions[:, ay]
+    grid = np.zeros((resolution, resolution))
+    cell = 2.0 * extent / resolution
+    half = resolution // 2
+
+    def kernel(q: np.ndarray) -> np.ndarray:
+        # 2-D-normalised cubic spline, support q in [0, 2).
+        w = np.zeros_like(q)
+        m1 = q < 1.0
+        m2 = (q >= 1.0) & (q < 2.0)
+        w[m1] = 1.0 - 1.5 * q[m1] ** 2 + 0.75 * q[m1] ** 3
+        w[m2] = 0.25 * (2.0 - q[m2]) ** 3
+        return w * (10.0 / (7.0 * np.pi))
+
+    for i in range(len(snapshot)):
+        h = max(snapshot.smoothing[i], cell)
+        cx = int(np.floor((xs[i] + extent) / cell))
+        cy = int(np.floor((ys[i] + extent) / cell))
+        radius_cells = int(np.ceil(2.0 * h / cell))
+        x_lo, x_hi = max(cx - radius_cells, 0), min(cx + radius_cells + 1, resolution)
+        y_lo, y_hi = max(cy - radius_cells, 0), min(cy + radius_cells + 1, resolution)
+        if x_lo >= x_hi or y_lo >= y_hi:
+            continue
+        gx = (np.arange(x_lo, x_hi) + 0.5) * cell - extent
+        gy = (np.arange(y_lo, y_hi) + 0.5) * cell - extent
+        dx = (gx - xs[i])[:, None]
+        dy = (gy - ys[i])[None, :]
+        q = np.sqrt(dx**2 + dy**2) / h
+        w = kernel(q) / h**2
+        grid[x_lo:x_hi, y_lo:y_hi] += snapshot.masses[i] * w
+    return grid
+
+
+def _positive(x) -> None:
+    if not x > 0:
+        raise ValueError(f"must be positive, got {x!r}")
+
+
+@register_unit(category="galaxy")
+class DataReader(Unit):
+    """"The data file is loaded by a single Data Reader Unit" — emits one
+    snapshot per iteration from a registered dataset."""
+
+    NUM_INPUTS = 0
+    NUM_OUTPUTS = 1
+    OUTPUT_TYPES = (ParticleSnapshot,)
+    PARAMETERS = (ParamSpec("dataset", "", "registered dataset key"),)
+    REQUIRED_PERMISSIONS = ("fs.read",)
+
+    def reset(self) -> None:
+        self._index = 0
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {"index": self._index}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self._index = int(state.get("index", 0))
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        key = self.get_param("dataset")
+        if key not in _DATASETS:
+            raise UnitError(f"DataReader: no dataset registered as {key!r}")
+        frames = _DATASETS[key]
+        if self._index >= len(frames):
+            raise UnitError(
+                f"DataReader: dataset {key!r} exhausted after {len(frames)} frames"
+            )
+        frame = frames[self._index]
+        self._index += 1
+        return [frame]
+
+
+@register_unit(category="galaxy")
+class ColumnDensity(Unit):
+    """SPH column-density projection of one snapshot (the farmed work)."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (ParticleSnapshot,)
+    OUTPUT_TYPES = (ImageData,)
+    CODE_SIZE = 60_000
+    PARAMETERS = (
+        ParamSpec("resolution", 64, "output grid side", _positive),
+        ParamSpec("view", "xy", "projection plane: xy | xz | yz"),
+        ParamSpec("extent", 2.5, "half-width of the projected region", _positive),
+        ParamSpec("theta", 0.0, "view tilt about x, radians"),
+        ParamSpec("phi", 0.0, "view spin about z, radians"),
+    )
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        (snap,) = inputs
+        try:
+            grid = sph_column_density(
+                snap,
+                resolution=int(self.get_param("resolution")),
+                view=self.get_param("view"),
+                extent=float(self.get_param("extent")),
+                theta=float(self.get_param("theta")),
+                phi=float(self.get_param("phi")),
+            )
+        except ValueError as exc:
+            raise UnitError(f"ColumnDensity: {exc}") from exc
+        return [ImageData(pixels=grid)]
+
+    def estimated_flops(self, input_nbytes: int) -> float:
+        # ~n_particles × kernel-window work; input is ~(3+1+1)·8 B/particle.
+        n_particles = max(input_nbytes / 40.0, 1.0)
+        window = 25.0  # mean cells under the kernel support
+        return 50.0 * n_particles * window
+
+
+@register_unit(category="galaxy")
+class FrameCollector(Unit):
+    """The visualisation unit: collects rendered frames *in order*.
+
+    "Each distributed Triana service returns it's processed data in
+    order, allowing the frames to be animated."
+    """
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 0
+    INPUT_TYPES = (ImageData,)
+
+    def reset(self) -> None:
+        self.frames: list[ImageData] = []
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {"frames": [f.pixels.tolist() for f in self.frames]}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self.frames = [ImageData(pixels=np.asarray(p)) for p in state.get("frames", [])]
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        self.frames.append(inputs[0])
+        return []
+
+    def animation(self) -> np.ndarray:
+        """Stacked (n_frames, res, res) array — the animation tensor."""
+        if not self.frames:
+            raise UnitError("FrameCollector: no frames collected")
+        return np.stack([f.pixels for f in self.frames])
+
+
+def build_galaxy_graph(
+    dataset_key: str,
+    resolution: int = 64,
+    view: str = "xy",
+    policy: str = "parallel",
+) -> TaskGraph:
+    """The Case-1 task graph: Reader → [Render]@policy → Collector."""
+    g = TaskGraph("galaxy-formation")
+    g.add_task("Reader", "DataReader", dataset=dataset_key)
+    g.add_task("Render", "ColumnDensity", resolution=resolution, view=view)
+    g.add_task("Collector", "FrameCollector")
+    g.connect("Reader", 0, "Render", 0)
+    g.connect("Render", 0, "Collector", 0)
+    g.group_tasks("RenderFarm", ["Render"], policy=policy)
+    return g

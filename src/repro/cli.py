@@ -1,0 +1,217 @@
+"""Command-line interface: run, convert and inspect task graphs.
+
+The headless counterpart of the Triana GUI::
+
+    python -m repro units --category signal     # browse the toolbox
+    python -m repro run fig1.xml -n 20 --probe Accum
+    python -m repro run fig1.xml -n 20 --workers 4    # simulated grid
+    python -m repro convert fig1.xml --to wsfl        # format bridge
+
+Graph files may be in any of the three §3.1 formats (native taskgraph
+XML, WSFL, Petri net); the format is sniffed from the root element.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.tables import render_kv, render_table
+from .core import (
+    LocalEngine,
+    TaskGraph,
+    global_registry,
+    graph_from_petrinet,
+    graph_from_string,
+    graph_from_wsfl,
+    graph_to_petrinet,
+    graph_to_string,
+    graph_to_wsfl,
+)
+from .core.errors import SerializationError, WorkflowError
+
+__all__ = ["main", "load_graph_text", "FORMATS"]
+
+FORMATS = ("native", "wsfl", "petrinet")
+
+_PARSERS = {
+    "native": graph_from_string,
+    "wsfl": graph_from_wsfl,
+    "petrinet": graph_from_petrinet,
+}
+_WRITERS = {
+    "native": graph_to_string,
+    "wsfl": graph_to_wsfl,
+    "petrinet": graph_to_petrinet,
+}
+_ROOTS = {"taskgraph": "native", "flowModel": "wsfl", "net": "petrinet"}
+
+
+def sniff_format(text: str) -> str:
+    """Guess the wire format from the XML root element."""
+    stripped = text.lstrip()
+    for root, fmt in _ROOTS.items():
+        if stripped.startswith(f"<{root}"):
+            return fmt
+    raise SerializationError(
+        "unrecognised graph format; expected a <taskgraph>, <flowModel> or "
+        "<net> document"
+    )
+
+
+def load_graph_text(text: str, fmt: str = "auto") -> TaskGraph:
+    """Parse graph text in the given (or sniffed) format."""
+    if fmt == "auto":
+        fmt = sniff_format(text)
+    if fmt not in _PARSERS:
+        raise SerializationError(f"unknown format {fmt!r}; valid: {FORMATS}")
+    return _PARSERS[fmt](text)
+
+
+def _cmd_units(args) -> int:
+    registry = global_registry()
+    hits = registry.search(category=args.category, text=args.search or "")
+    print(render_table(
+        ["unit", "version", "category", "in", "out", "code bytes"],
+        [
+            (d.name, d.version, d.category, d.cls.NUM_INPUTS,
+             d.cls.NUM_OUTPUTS, d.code_size)
+            for d in hits
+        ],
+        title=f"{len(hits)} units registered",
+    ))
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    text = open(args.graph).read()
+    graph = load_graph_text(text, args.from_format)
+    print(_WRITERS[args.to](graph))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    text = open(args.graph).read()
+    graph = load_graph_text(text, args.from_format)
+    graph.validate()
+    groups = graph.groups()
+    print(render_kv(
+        [
+            ("graph", graph.name),
+            ("tasks", len(graph.tasks)),
+            ("connections", len(graph.connections)),
+            ("groups", [f"{g.name}({g.policy})" for g in groups]),
+            ("valid", True),
+        ],
+        title=f"validated {args.graph}",
+    ))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    text = open(args.graph).read()
+    graph = load_graph_text(text, args.from_format)
+    probes = tuple(args.probe or ())
+    if args.workers == 0:
+        engine = LocalEngine(graph)
+        attached = [engine.attach_probe(p) for p in probes]
+        engine.run(iterations=args.iterations)
+        print(render_kv(
+            [
+                ("mode", "local engine"),
+                ("iterations", engine.stats.iterations),
+                ("unit firings", engine.stats.firings),
+                ("modelled gflop", engine.stats.modelled_flops / 1e9),
+            ],
+            title=f"ran {graph.name}",
+        ))
+        for probe in attached:
+            print(f"probe {probe.task}: {len(probe.values)} values, "
+                  f"last = {type(probe.last).__name__}")
+        return 0
+
+    from .grid import ConsumerGrid
+
+    grid = ConsumerGrid(
+        n_workers=args.workers,
+        seed=args.seed,
+        discovery=args.discovery,
+    )
+    report = grid.run(
+        graph, iterations=args.iterations, probes=probes, dispatch=args.dispatch
+    )
+    print(render_kv(
+        [
+            ("mode", f"simulated grid ({args.workers} workers, "
+                     f"{args.discovery} discovery)"),
+            ("policy", report.policy),
+            ("iterations", report.iterations),
+            ("deploy time (sim s)", report.deploy_time),
+            ("makespan (sim s)", report.makespan),
+            ("re-dispatches", report.redispatches),
+            ("placements", dict(report.placements)),
+        ],
+        title=f"ran {graph.name}",
+    ))
+    for name, values in report.probe_values.items():
+        print(f"probe {name}: {len(values)} values")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Consumer Grid reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_units = sub.add_parser("units", help="list the unit toolbox")
+    p_units.add_argument("--category", default=None)
+    p_units.add_argument("--search", default=None)
+    p_units.set_defaults(fn=_cmd_units)
+
+    p_validate = sub.add_parser("validate", help="type-check a task graph file")
+    p_validate.add_argument("graph")
+    p_validate.add_argument("--from-format", default="auto",
+                            choices=("auto", *FORMATS))
+    p_validate.set_defaults(fn=_cmd_validate)
+
+    p_convert = sub.add_parser("convert", help="convert between wire formats")
+    p_convert.add_argument("graph")
+    p_convert.add_argument("--to", required=True, choices=FORMATS)
+    p_convert.add_argument("--from-format", default="auto",
+                           choices=("auto", *FORMATS))
+    p_convert.set_defaults(fn=_cmd_convert)
+
+    p_run = sub.add_parser("run", help="execute a task graph")
+    p_run.add_argument("graph")
+    p_run.add_argument("-n", "--iterations", type=int, default=1)
+    p_run.add_argument("--workers", type=int, default=0,
+                       help="0 = local engine; >0 = simulated Consumer Grid")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--discovery", default="central",
+                       choices=("central", "flooding", "rendezvous"))
+    p_run.add_argument("--dispatch", default="round_robin",
+                       choices=("round_robin", "weighted"))
+    p_run.add_argument("--probe", action="append",
+                       help="task name to observe (repeatable)")
+    p_run.add_argument("--from-format", default="auto",
+                       choices=("auto", *FORMATS))
+    p_run.set_defaults(fn=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (WorkflowError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the workflow core."""
+
+from __future__ import annotations
+
+
+class WorkflowError(Exception):
+    """Base class for all workflow-core errors."""
+
+
+class TypeMismatchError(WorkflowError):
+    """A connection joins an output to an input with incompatible types.
+
+    The paper requires the engine to "undertake type checking on their
+    connectivity"; violations are rejected at connect time, not run time.
+    """
+
+
+class GraphError(WorkflowError):
+    """Structural problem in a task graph (cycles, dangling nodes...)."""
+
+
+class UnitError(WorkflowError):
+    """A unit was misconfigured or misbehaved during processing."""
+
+
+class ParameterError(UnitError):
+    """An unknown parameter was set or a value failed validation."""
+
+
+class RegistryError(WorkflowError):
+    """Unit lookup failed or a duplicate registration was attempted."""
+
+
+class SerializationError(WorkflowError):
+    """Task-graph XML could not be produced or parsed."""

@@ -1,0 +1,111 @@
+"""Introspection helpers — what a GUI palette / graph view consumes.
+
+The reference Triana GUI shows "several hundred units" on a palette with
+their parameters and node types, and draws the wired network.  These
+helpers expose the same information programmatically:
+
+* :func:`describe_unit` — palette entry: parameters (with defaults and
+  docs), node types, permissions, mobility metadata;
+* :func:`graph_to_dot` — Graphviz rendering of a task graph (groups as
+  clusters), for documentation and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .registry import UnitRegistry, global_registry
+from .taskgraph import GroupTask, TaskGraph
+
+__all__ = ["describe_unit", "graph_to_dot"]
+
+
+def describe_unit(name: str, registry: Optional[UnitRegistry] = None) -> dict[str, Any]:
+    """A palette entry for one registered unit."""
+    reg = registry if registry is not None else global_registry()
+    desc = reg.lookup(name)
+    cls = desc.cls
+    return {
+        "name": desc.name,
+        "version": desc.version,
+        "category": desc.category,
+        "doc": (cls.__doc__ or "").strip().splitlines()[0] if cls.__doc__ else "",
+        "code_size": desc.code_size,
+        "permissions": list(cls.REQUIRED_PERMISSIONS),
+        "inputs": [
+            [t.__name__ for t in cls.input_types_at(k)]
+            for k in range(cls.NUM_INPUTS)
+        ],
+        "outputs": [
+            [t.__name__ for t in cls.output_types_at(k)]
+            for k in range(cls.NUM_OUTPUTS)
+        ],
+        "parameters": [
+            {"name": p.name, "default": p.default, "doc": p.doc}
+            for p in cls.PARAMETERS
+        ],
+    }
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def graph_to_dot(graph: TaskGraph) -> str:
+    """Render a task graph as Graphviz ``dot`` source.
+
+    Groups become labelled clusters; edges carry the node indices when
+    they are not the trivial 0→0.
+    """
+    lines = [f'digraph "{_dot_escape(graph.name)}" {{', "  rankdir=LR;"]
+
+    def emit_tasks(g: TaskGraph, indent: str, prefix: str) -> None:
+        for name in sorted(g.tasks):
+            task = g.tasks[name]
+            qualified = f"{prefix}{name}"
+            if isinstance(task, GroupTask):
+                lines.append(f'{indent}subgraph "cluster_{_dot_escape(qualified)}" {{')
+                lines.append(
+                    f'{indent}  label="{_dot_escape(name)} [{task.policy}]";'
+                )
+                emit_tasks(task.graph, indent + "  ", f"{qualified}/")
+                for conn in task.graph.connections:
+                    _emit_edge(indent + "  ", f"{qualified}/", conn)
+                lines.append(f"{indent}}}")
+            else:
+                lines.append(
+                    f'{indent}"{_dot_escape(qualified)}" '
+                    f'[label="{_dot_escape(name)}\\n({task.unit_name})"];'
+                )
+
+    def _emit_edge(indent: str, prefix: str, conn) -> None:
+        label = ""
+        if conn.src_node != 0 or conn.dst_node != 0:
+            label = f' [label="{conn.src_node}:{conn.dst_node}"]'
+        lines.append(
+            f'{indent}"{_dot_escape(prefix + conn.src)}" -> '
+            f'"{_dot_escape(prefix + conn.dst)}"{label};'
+        )
+
+    emit_tasks(graph, "  ", "")
+    for conn in graph.connections:
+        src_task = graph.tasks[conn.src]
+        dst_task = graph.tasks[conn.dst]
+        # Route edges touching a group to its mapped inner task so the
+        # arrow lands inside the cluster.
+        if isinstance(src_task, GroupTask):
+            inner, _node = src_task.output_map[conn.src_node]
+            src = f"{conn.src}/{inner}"
+        else:
+            src = conn.src
+        if isinstance(dst_task, GroupTask):
+            inner, _node = dst_task.input_map[conn.dst_node]
+            dst = f"{conn.dst}/{inner}"
+        else:
+            dst = conn.dst
+        label = ""
+        if conn.src_node != 0 or conn.dst_node != 0:
+            label = f' [label="{conn.src_node}:{conn.dst_node}"]'
+        lines.append(f'  "{_dot_escape(src)}" -> "{_dot_escape(dst)}"{label};')
+    lines.append("}")
+    return "\n".join(lines)

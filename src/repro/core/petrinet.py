@@ -1,0 +1,185 @@
+"""Petri-net task-graph serialisation — the third format of §3.1.
+
+"A Triana network can be constructed ... by writing an XML taskgraph (in
+Web Services Flow Language (WSFL), **Petri net** or Business Process
+Enactment Language for Web Services (BPEL4WS) formats)."
+
+Mapping (classic workflow-net encoding):
+
+* every task is a **transition** (unit name + parameters attached);
+* every connection is a **place** with one input arc from the producing
+  transition and one output arc to the consuming transition;
+* group composites carry a nested ``<net>`` plus port mappings.
+
+The encoding is information-preserving, so ``graph_from_petrinet``
+reconstructs the exact task graph; a structural helper also exposes the
+net (places/transitions/arcs) for analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import SerializationError
+from .registry import UnitRegistry, global_registry
+from .taskgraph import GroupTask, TaskGraph
+
+__all__ = ["graph_to_petrinet", "graph_from_petrinet", "petri_structure", "PetriNet"]
+
+
+@dataclass(frozen=True)
+class PetriNet:
+    """Structural view: transition names, place names, and arcs."""
+
+    transitions: tuple[str, ...]
+    places: tuple[str, ...]
+    arcs: tuple[tuple[str, str], ...]  # (source, target), mixed kinds
+
+    def preset(self, node: str) -> set[str]:
+        return {s for s, t in self.arcs if t == node}
+
+    def postset(self, node: str) -> set[str]:
+        return {t for s, t in self.arcs if s == node}
+
+
+def _place_name(conn) -> str:
+    return f"p[{conn.src}:{conn.src_node}->{conn.dst}:{conn.dst_node}]"
+
+
+def petri_structure(graph: TaskGraph) -> PetriNet:
+    """The (flattened) workflow net underlying a task graph."""
+    flat = graph.flattened()
+    transitions = tuple(sorted(flat.tasks))
+    places = tuple(sorted(_place_name(c) for c in flat.connections))
+    arcs = []
+    for c in flat.connections:
+        p = _place_name(c)
+        arcs.append((c.src, p))
+        arcs.append((p, c.dst))
+    return PetriNet(transitions=transitions, places=places, arcs=tuple(sorted(arcs)))
+
+
+def _net_element(graph: TaskGraph) -> ET.Element:
+    net = ET.Element("net", name=graph.name, type="workflow")
+    for name in sorted(graph.tasks):
+        task = graph.tasks[name]
+        if isinstance(task, GroupTask):
+            composite = ET.SubElement(
+                net, "transition", id=name, kind="composite", policy=task.policy
+            )
+            composite.append(_net_element(task.graph))
+            for idx, (tname, tnode) in enumerate(task.input_map):
+                ET.SubElement(
+                    composite, "port", direction="in", external=str(idx),
+                    internal=f"{tname}:{tnode}",
+                )
+            for idx, (tname, tnode) in enumerate(task.output_map):
+                ET.SubElement(
+                    composite, "port", direction="out", external=str(idx),
+                    internal=f"{tname}:{tnode}",
+                )
+        else:
+            tr = ET.SubElement(
+                net, "transition", id=name, unit=task.unit_name,
+                version=task.descriptor.version,
+            )
+            for pname, pvalue in sorted(task.params.items()):
+                try:
+                    encoded = json.dumps(pvalue)
+                except TypeError as exc:
+                    raise SerializationError(
+                        f"parameter {pname!r} of {name!r} is not serialisable"
+                    ) from exc
+                ET.SubElement(tr, "param", name=pname, value=encoded)
+    for conn in graph.connections:
+        pid = _place_name(conn)
+        ET.SubElement(net, "place", id=pid)
+        ET.SubElement(net, "arc", source=conn.src, target=pid,
+                      srcnode=str(conn.src_node))
+        ET.SubElement(net, "arc", source=pid, target=conn.dst,
+                      dstnode=str(conn.dst_node))
+    return net
+
+
+def graph_to_petrinet(graph: TaskGraph) -> str:
+    """Serialise a task graph to the Petri-net wire format."""
+    el = _net_element(graph)
+    ET.indent(el)
+    return ET.tostring(el, encoding="unicode")
+
+
+def _split(ref: str) -> tuple[str, int]:
+    name, node = ref.rsplit(":", 1)
+    return name, int(node)
+
+
+def _parse_net(el: ET.Element, registry: UnitRegistry) -> TaskGraph:
+    graph = TaskGraph(name=el.get("name", "net"), registry=registry)
+    for tr in el.findall("transition"):
+        name = tr.get("id")
+        if not name:
+            raise SerializationError("<transition> requires an id")
+        if tr.get("kind") == "composite":
+            inner_el = tr.find("net")
+            if inner_el is None:
+                raise SerializationError(
+                    f"composite transition {name!r} lacks a <net>"
+                )
+            inner = _parse_net(inner_el, registry)
+            in_map: list[tuple[int, str, int]] = []
+            out_map: list[tuple[int, str, int]] = []
+            for port in tr.findall("port"):
+                tname, tnode = _split(port.get("internal", ""))
+                entry = (int(port.get("external", "0")), tname, tnode)
+                (in_map if port.get("direction") == "in" else out_map).append(entry)
+            in_map.sort()
+            out_map.sort()
+            graph.add_group(
+                name, inner,
+                [(t, n) for _i, t, n in in_map],
+                [(t, n) for _i, t, n in out_map],
+                policy=tr.get("policy", "none"),
+            )
+        else:
+            unit = tr.get("unit")
+            if not unit:
+                raise SerializationError(f"transition {name!r} requires a unit")
+            params = {}
+            for p in tr.findall("param"):
+                try:
+                    params[p.get("name")] = json.loads(p.get("value", "null"))
+                except json.JSONDecodeError as exc:
+                    raise SerializationError(
+                        f"bad parameter encoding in {name!r}"
+                    ) from exc
+            graph.add_task(name, unit, **params)
+    # Re-assemble connections: place id → its two arcs.
+    into_place: dict[str, tuple[str, int]] = {}
+    from_place: dict[str, tuple[str, int]] = {}
+    for arc in el.findall("arc"):
+        source, target = arc.get("source", ""), arc.get("target", "")
+        if source in graph.tasks:
+            into_place[target] = (source, int(arc.get("srcnode", "0")))
+        else:
+            from_place[source] = (target, int(arc.get("dstnode", "0")))
+    for place in el.findall("place"):
+        pid = place.get("id", "")
+        if pid not in into_place or pid not in from_place:
+            raise SerializationError(f"place {pid!r} is not 1-in/1-out")
+        (src, src_node), (dst, dst_node) = into_place[pid], from_place[pid]
+        graph.connect(src, src_node, dst, dst_node)
+    return graph
+
+
+def graph_from_petrinet(text: str, registry: Optional[UnitRegistry] = None) -> TaskGraph:
+    """Parse the Petri-net wire format back into a task graph."""
+    try:
+        el = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SerializationError(f"malformed Petri net: {exc}") from exc
+    if el.tag != "net":
+        raise SerializationError(f"expected <net>, got <{el.tag}>")
+    return _parse_net(el, registry if registry is not None else global_registry())

@@ -1,0 +1,123 @@
+"""The unit toolbox registry.
+
+Triana ships "several hundred units" discoverable by name; task graphs
+reference units by registry name, and the mobility layer treats a registry
+entry (name + version + code size) as the downloadable module.  This
+module provides the registry plus the ``@register_unit`` decorator used by
+the built-in toolbox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Type
+
+from .errors import RegistryError
+from .units import Unit
+
+__all__ = ["UnitDescriptor", "UnitRegistry", "register_unit", "global_registry"]
+
+
+@dataclass(frozen=True)
+class UnitDescriptor:
+    """Metadata describing one registered unit implementation."""
+
+    name: str
+    cls: Type[Unit]
+    version: str
+    code_size: int
+    category: str = "misc"
+
+    @property
+    def qualified_name(self) -> str:
+        """``name@version`` — the identity the mobility layer ships."""
+        return f"{self.name}@{self.version}"
+
+
+class UnitRegistry:
+    """Name → unit-class mapping with category search.
+
+    A registry instance models one *module repository*: the controller's
+    registry is authoritative; peers fetch descriptors from it on demand
+    (see :mod:`repro.mobility`).
+    """
+
+    def __init__(self):
+        self._units: dict[str, UnitDescriptor] = {}
+
+    def register(self, cls: Type[Unit], category: str = "misc") -> UnitDescriptor:
+        """Register a unit class; duplicate names are an error."""
+        if not (isinstance(cls, type) and issubclass(cls, Unit)):
+            raise RegistryError(f"{cls!r} is not a Unit subclass")
+        name = cls.unit_name()
+        if name in self._units:
+            raise RegistryError(f"unit {name!r} already registered")
+        desc = UnitDescriptor(
+            name=name,
+            cls=cls,
+            version=cls.VERSION,
+            code_size=cls.CODE_SIZE,
+            category=category,
+        )
+        self._units[name] = desc
+        return desc
+
+    def unregister(self, name: str) -> None:
+        if name not in self._units:
+            raise RegistryError(f"unit {name!r} not registered")
+        del self._units[name]
+
+    def lookup(self, name: str) -> UnitDescriptor:
+        """Resolve a unit name (accepts Java-style dotted prefixes)."""
+        short = name.rsplit(".", 1)[-1]
+        if short not in self._units:
+            raise RegistryError(
+                f"unknown unit {name!r}; registered: {sorted(self._units)[:10]}..."
+            )
+        return self._units[short]
+
+    def create(self, name: str, **params) -> Unit:
+        """Instantiate a registered unit with parameters."""
+        return self.lookup(name).cls(**params)
+
+    def __contains__(self, name: str) -> bool:
+        return name.rsplit(".", 1)[-1] in self._units
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def __iter__(self) -> Iterator[UnitDescriptor]:
+        return iter(self._units.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._units)
+
+    def search(self, category: str | None = None, text: str = "") -> list[UnitDescriptor]:
+        """Find units by category and/or name substring."""
+        hits = []
+        needle = text.lower()
+        for desc in self._units.values():
+            if category is not None and desc.category != category:
+                continue
+            if needle and needle not in desc.name.lower():
+                continue
+            hits.append(desc)
+        return sorted(hits, key=lambda d: d.name)
+
+
+_GLOBAL = UnitRegistry()
+
+
+def global_registry() -> UnitRegistry:
+    """The process-wide default registry the built-in toolbox populates."""
+    return _GLOBAL
+
+
+def register_unit(category: str = "misc", registry: UnitRegistry | None = None):
+    """Class decorator registering a unit in the global (or given) registry."""
+
+    def deco(cls: Type[Unit]) -> Type[Unit]:
+        (registry or _GLOBAL).register(cls, category=category)
+        return cls
+
+    return deco

@@ -1,0 +1,168 @@
+"""Type-conversion units bridging the payload families."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import UnitError
+from ..registry import register_unit
+from ..types import (
+    Const,
+    ImageData,
+    SampleSet,
+    Spectrum,
+    TableData,
+    TextMessage,
+    VectorType,
+)
+from ..units import ParamSpec, Unit
+
+__all__ = [
+    "VectorToSampleSet",
+    "SampleSetToVector",
+    "SpectrumToVector",
+    "TableColumn",
+    "VectorToTable",
+    "ImageFlatten",
+    "ConstToVector",
+    "TableToText",
+]
+
+
+def _positive(x) -> None:
+    if not x > 0:
+        raise ValueError(f"must be positive, got {x!r}")
+
+
+@register_unit(category="conversion")
+class VectorToSampleSet(Unit):
+    """Attach a sampling rate to a bare vector."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType,)
+    OUTPUT_TYPES = (SampleSet,)
+    PARAMETERS = (ParamSpec("sampling_rate", 1024.0, "samples per second", _positive),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        return [
+            SampleSet(
+                data=inputs[0].data,
+                sampling_rate=float(self.get_param("sampling_rate")),
+            )
+        ]
+
+
+@register_unit(category="conversion")
+class SampleSetToVector(Unit):
+    """Strip signal semantics, keep the samples."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (VectorType,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        return [VectorType(data=inputs[0].data.copy())]
+
+
+@register_unit(category="conversion")
+class SpectrumToVector(Unit):
+    """Spectrum bins as a bare vector."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (Spectrum,)
+    OUTPUT_TYPES = (VectorType,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        return [VectorType(data=inputs[0].data.copy())]
+
+
+@register_unit(category="conversion")
+class TableColumn(Unit):
+    """Extract one numeric column of a table as a vector."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (TableData,)
+    OUTPUT_TYPES = (VectorType,)
+    PARAMETERS = (ParamSpec("column", "", "column name to extract"),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        table = inputs[0]
+        name = self.get_param("column")
+        try:
+            values = table.column(name)
+        except KeyError as exc:
+            raise UnitError(str(exc)) from exc
+        try:
+            data = np.asarray(values, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise UnitError(f"TableColumn: column {name!r} is not numeric") from exc
+        return [VectorType(data=data)]
+
+
+@register_unit(category="conversion")
+class VectorToTable(Unit):
+    """Wrap a vector into a single-column table."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (TableData,)
+    PARAMETERS = (ParamSpec("column", "value", "column name"),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        name = self.get_param("column") or "value"
+        table = TableData([name])
+        for v in inputs[0].data:
+            table.append((float(v),))
+        return [table]
+
+
+@register_unit(category="conversion")
+class ImageFlatten(Unit):
+    """Row-major flatten of an image into a vector."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (ImageData,)
+    OUTPUT_TYPES = (VectorType,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        return [VectorType(data=inputs[0].pixels.ravel().copy())]
+
+
+@register_unit(category="conversion")
+class ConstToVector(Unit):
+    """Repeat a scalar into a vector of given length."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (Const,)
+    OUTPUT_TYPES = (VectorType,)
+    PARAMETERS = (ParamSpec("length", 16, "output length", _positive),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        n = int(self.get_param("length"))
+        return [VectorType(data=np.full(n, inputs[0].value))]
+
+
+@register_unit(category="conversion")
+class TableToText(Unit):
+    """Render a table as CSV text (the inverse of Database.load_csv)."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (TableData,)
+    OUTPUT_TYPES = (TextMessage,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        table = inputs[0]
+        lines = [", ".join(table.columns)]
+        for row in table.rows:
+            lines.append(", ".join(str(c) for c in row))
+        return [TextMessage(text="\n".join(lines))]

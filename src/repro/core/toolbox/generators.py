@@ -1,0 +1,200 @@
+"""Source units beyond the basic Wave generator."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import UnitError
+from ..registry import register_unit
+from ..types import SampleSet
+from ..units import ParamSpec, Unit
+
+__all__ = [
+    "DCSource",
+    "ImpulseTrain",
+    "StepSource",
+    "WhiteNoiseSource",
+    "PinkNoiseSource",
+    "PRBSSource",
+]
+
+
+def _positive(x) -> None:
+    if not x > 0:
+        raise ValueError(f"must be positive, got {x!r}")
+
+
+class _FramedSource(Unit):
+    """Shared frame bookkeeping for block sources (t0 advances per frame)."""
+
+    NUM_INPUTS = 0
+    NUM_OUTPUTS = 1
+    OUTPUT_TYPES = (SampleSet,)
+
+    def reset(self) -> None:
+        self._frame = 0
+        self._extra_reset()
+
+    def _extra_reset(self) -> None:
+        pass
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {"frame": self._frame}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self.reset()
+        self._frame = int(state.get("frame", 0))
+
+    def _frame_geometry(self) -> tuple[int, float, float]:
+        n = int(self.get_param("samples"))
+        fs = float(self.get_param("sampling_rate"))
+        t0 = self._frame * n / fs
+        self._frame += 1
+        return n, fs, t0
+
+    def _emit(self, data: np.ndarray, fs: float, t0: float) -> list[Any]:
+        return [SampleSet(data=data, sampling_rate=fs, t0=t0)]
+
+
+@register_unit(category="generators")
+class DCSource(_FramedSource):
+    """A constant-level block signal."""
+
+    PARAMETERS = (
+        ParamSpec("level", 1.0, "DC level"),
+        ParamSpec("samples", 256, "samples per frame", _positive),
+        ParamSpec("sampling_rate", 1024.0, "samples per second", _positive),
+    )
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        n, fs, t0 = self._frame_geometry()
+        return self._emit(np.full(n, float(self.get_param("level"))), fs, t0)
+
+
+@register_unit(category="generators")
+class ImpulseTrain(_FramedSource):
+    """Unit impulses every ``period`` samples (phase continuous)."""
+
+    PARAMETERS = (
+        ParamSpec("period", 32, "samples between impulses", _positive),
+        ParamSpec("samples", 256, "samples per frame", _positive),
+        ParamSpec("sampling_rate", 1024.0, "samples per second", _positive),
+    )
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        n = int(self.get_param("samples"))
+        period = int(self.get_param("period"))
+        start = (self._frame * n) % period
+        data = np.zeros(n)
+        first = (period - start) % period
+        data[first::period] = 1.0
+        _n, fs, t0 = self._frame_geometry()
+        return self._emit(data, fs, t0)
+
+
+@register_unit(category="generators")
+class StepSource(_FramedSource):
+    """0 before ``step_at`` seconds, 1 after (across frames)."""
+
+    PARAMETERS = (
+        ParamSpec("step_at", 0.5, "step time in seconds"),
+        ParamSpec("samples", 256, "samples per frame", _positive),
+        ParamSpec("sampling_rate", 1024.0, "samples per second", _positive),
+    )
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        n, fs, t0 = self._frame_geometry()
+        t = t0 + np.arange(n) / fs
+        return self._emit((t >= float(self.get_param("step_at"))).astype(float), fs, t0)
+
+
+@register_unit(category="generators")
+class WhiteNoiseSource(_FramedSource):
+    """Gaussian white-noise source (reproducible by seed)."""
+
+    PARAMETERS = (
+        ParamSpec("sigma", 1.0, "standard deviation"),
+        ParamSpec("seed", 0, "stream seed"),
+        ParamSpec("samples", 256, "samples per frame", _positive),
+        ParamSpec("sampling_rate", 1024.0, "samples per second", _positive),
+    )
+
+    def _extra_reset(self) -> None:
+        self._rng = np.random.default_rng(int(self.get_param("seed")))
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {"frame": self._frame, "rng_state": self._rng.bit_generator.state}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        super().restore(state)
+        if "rng_state" in state:
+            self._rng.bit_generator.state = state["rng_state"]
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        n, fs, t0 = self._frame_geometry()
+        data = self._rng.normal(0.0, float(self.get_param("sigma")), n)
+        return self._emit(data, fs, t0)
+
+
+@register_unit(category="generators")
+class PinkNoiseSource(_FramedSource):
+    """1/f ("pink") noise via FFT-domain shaping of white noise."""
+
+    PARAMETERS = (
+        ParamSpec("sigma", 1.0, "target standard deviation"),
+        ParamSpec("seed", 0, "stream seed"),
+        ParamSpec("samples", 256, "samples per frame", _positive),
+        ParamSpec("sampling_rate", 1024.0, "samples per second", _positive),
+    )
+
+    def _extra_reset(self) -> None:
+        self._rng = np.random.default_rng(int(self.get_param("seed")))
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        n, fs, t0 = self._frame_geometry()
+        white = self._rng.normal(0.0, 1.0, n)
+        spectrum = np.fft.rfft(white)
+        freqs = np.fft.rfftfreq(n, d=1.0 / fs)
+        shaping = np.ones_like(freqs)
+        shaping[1:] = 1.0 / np.sqrt(freqs[1:])
+        pink = np.fft.irfft(spectrum * shaping, n)
+        std = pink.std()
+        if std > 0:
+            pink = pink / std * float(self.get_param("sigma"))
+        return self._emit(pink, fs, t0)
+
+
+@register_unit(category="generators")
+class PRBSSource(_FramedSource):
+    """±1 pseudo-random binary sequence from a 16-bit LFSR (deterministic)."""
+
+    PARAMETERS = (
+        ParamSpec("seed", 0xACE1, "non-zero LFSR start state"),
+        ParamSpec("samples", 256, "samples per frame", _positive),
+        ParamSpec("sampling_rate", 1024.0, "samples per second", _positive),
+    )
+
+    def _extra_reset(self) -> None:
+        self._state = int(self.get_param("seed")) & 0xFFFF
+        if self._state == 0:
+            raise UnitError("PRBSSource: seed must be non-zero")
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {"frame": self._frame, "state": self._state}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        super().restore(state)
+        self._state = int(state.get("state", self._state))
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        n, fs, t0 = self._frame_geometry()
+        out = np.empty(n)
+        s = self._state
+        for i in range(n):
+            bit = ((s >> 0) ^ (s >> 2) ^ (s >> 3) ^ (s >> 5)) & 1
+            s = (s >> 1) | (bit << 15)
+            out[i] = 1.0 if (s & 1) else -1.0
+        self._state = s
+        return self._emit(out, fs, t0)

@@ -1,0 +1,435 @@
+"""Numeric / vector units — Triana's "manipulate numeric ... data" family."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import UnitError
+from ..registry import register_unit
+from ..types import Const, GraphData, SampleSet, VectorType
+from ..units import ParamSpec, Unit
+
+__all__ = [
+    "ConstSource",
+    "Ramp",
+    "RandomVector",
+    "Adder",
+    "Subtract",
+    "Multiply",
+    "Divide",
+    "Negate",
+    "AbsValue",
+    "LogN",
+    "Sqrt",
+    "PowerOf",
+    "MeanValue",
+    "StdDev",
+    "MaxValue",
+    "MinValue",
+    "RunningSum",
+    "IterationCounter",
+    "Threshold",
+    "Clamp",
+    "Normalise",
+    "Differentiate",
+    "Integrate",
+    "Histogram",
+]
+
+
+def _positive(x) -> None:
+    if not x > 0:
+        raise ValueError(f"must be positive, got {x!r}")
+
+
+@register_unit(category="math")
+class ConstSource(Unit):
+    """Emits a constant scalar every iteration."""
+
+    NUM_INPUTS = 0
+    NUM_OUTPUTS = 1
+    OUTPUT_TYPES = (Const,)
+    PARAMETERS = (ParamSpec("value", 0.0, "the constant to emit"),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        return [Const(value=float(self.get_param("value")))]
+
+
+@register_unit(category="math")
+class Ramp(Unit):
+    """Emits 0, step, 2·step, ... across iterations (a simple counter source)."""
+
+    NUM_INPUTS = 0
+    NUM_OUTPUTS = 1
+    OUTPUT_TYPES = (Const,)
+    PARAMETERS = (ParamSpec("step", 1.0, "increment per iteration"),)
+
+    def reset(self) -> None:
+        self._i = 0
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {"i": self._i}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self._i = int(state.get("i", 0))
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        value = self._i * float(self.get_param("step"))
+        self._i += 1
+        return [Const(value=value)]
+
+
+@register_unit(category="math")
+class RandomVector(Unit):
+    """Uniform random vector source with a reproducible stream."""
+
+    NUM_INPUTS = 0
+    NUM_OUTPUTS = 1
+    OUTPUT_TYPES = (VectorType,)
+    PARAMETERS = (
+        ParamSpec("length", 128, "vector length", _positive),
+        ParamSpec("seed", 0, "stream seed"),
+    )
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(int(self.get_param("seed")))
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        return [VectorType(data=self._rng.random(int(self.get_param("length"))))]
+
+
+def _numeric_payload(value: Any) -> np.ndarray | float:
+    """Extract the numeric content of Const/VectorType/SampleSet payloads."""
+    if isinstance(value, Const):
+        return value.value
+    if isinstance(value, (VectorType, SampleSet)):
+        return value.data
+    raise UnitError(f"not a numeric payload: {type(value).__name__}")
+
+
+def _rewrap(template: Any, data) -> Any:
+    """Wrap a computed array/scalar in the same container as ``template``."""
+    if isinstance(template, Const):
+        return Const(value=float(data))
+    if isinstance(template, SampleSet):
+        return SampleSet(
+            data=np.asarray(data, dtype=float),
+            sampling_rate=template.sampling_rate,
+            t0=template.t0,
+        )
+    return VectorType(data=np.atleast_1d(np.asarray(data, dtype=float)))
+
+
+class _Binary(Unit):
+    """Elementwise binary operation on numeric payloads."""
+
+    NUM_INPUTS = 2
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (Const, VectorType, SampleSet)
+    OUTPUT_TYPES = (Const, VectorType, SampleSet)
+
+    def _op(self, a, b):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        a, b = inputs
+        result = self._op(_numeric_payload(a), _numeric_payload(b))
+        template = a if not isinstance(a, Const) else b
+        return [_rewrap(template, result)]
+
+
+@register_unit(category="math")
+class Adder(_Binary):
+    """a + b."""
+
+    def _op(self, a, b):
+        return a + b
+
+
+@register_unit(category="math")
+class Subtract(_Binary):
+    """a - b."""
+
+    def _op(self, a, b):
+        return a - b
+
+
+@register_unit(category="math")
+class Multiply(_Binary):
+    """a * b."""
+
+    def _op(self, a, b):
+        return a * b
+
+
+@register_unit(category="math")
+class Divide(_Binary):
+    """a / b (division by zero is a UnitError)."""
+
+    def _op(self, a, b):
+        if np.any(np.asarray(b) == 0):
+            raise UnitError("Divide: division by zero")
+        return a / b
+
+
+class _Unary(Unit):
+    """Elementwise unary operation preserving the container type."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (Const, VectorType, SampleSet)
+    OUTPUT_TYPES = (Const, VectorType, SampleSet)
+
+    def _op(self, a):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        (a,) = inputs
+        return [_rewrap(a, self._op(_numeric_payload(a)))]
+
+
+@register_unit(category="math")
+class Negate(_Unary):
+    """-a."""
+
+    def _op(self, a):
+        return -np.asarray(a) if not np.isscalar(a) else -a
+
+
+@register_unit(category="math")
+class AbsValue(_Unary):
+    """|a|."""
+
+    def _op(self, a):
+        return np.abs(a)
+
+
+@register_unit(category="math")
+class LogN(_Unary):
+    """Natural log; non-positive inputs are a UnitError."""
+
+    def _op(self, a):
+        if np.any(np.asarray(a) <= 0):
+            raise UnitError("LogN: non-positive input")
+        return np.log(a)
+
+
+@register_unit(category="math")
+class Sqrt(_Unary):
+    """√a; negative inputs are a UnitError."""
+
+    def _op(self, a):
+        if np.any(np.asarray(a) < 0):
+            raise UnitError("Sqrt: negative input")
+        return np.sqrt(a)
+
+
+@register_unit(category="math")
+class PowerOf(_Unary):
+    """a ** exponent."""
+
+    PARAMETERS = (ParamSpec("exponent", 2.0, "power to raise to"),)
+
+    def _op(self, a):
+        return np.power(a, float(self.get_param("exponent")))
+
+
+class _Reduction(Unit):
+    """Vector → scalar reduction."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (Const,)
+
+    def _op(self, a: np.ndarray) -> float:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        (a,) = inputs
+        data = np.asarray(_numeric_payload(a))
+        if data.size == 0:
+            raise UnitError(f"{self.unit_name()}: empty input")
+        return [Const(value=float(self._op(data)))]
+
+
+@register_unit(category="math")
+class MeanValue(_Reduction):
+    """Arithmetic mean."""
+
+    def _op(self, a):
+        return a.mean()
+
+
+@register_unit(category="math")
+class StdDev(_Reduction):
+    """Population standard deviation."""
+
+    def _op(self, a):
+        return a.std()
+
+
+@register_unit(category="math")
+class MaxValue(_Reduction):
+    """Maximum element."""
+
+    def _op(self, a):
+        return a.max()
+
+
+@register_unit(category="math")
+class MinValue(_Reduction):
+    """Minimum element."""
+
+    def _op(self, a):
+        return a.min()
+
+
+@register_unit(category="math")
+class RunningSum(Unit):
+    """Accumulates scalar inputs across iterations (checkpointable)."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (Const,)
+    OUTPUT_TYPES = (Const,)
+
+    def reset(self) -> None:
+        self._total = 0.0
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {"total": self._total}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self._total = float(state.get("total", 0.0))
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        (c,) = inputs
+        self._total += c.value
+        return [Const(value=self._total)]
+
+
+@register_unit(category="math")
+class IterationCounter(Unit):
+    """Counts how many payloads passed through (pass-through + count)."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {"count": self.count}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self.count = int(state.get("count", 0))
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        self.count += 1
+        return [inputs[0]]
+
+
+@register_unit(category="math")
+class Threshold(Unit):
+    """Zero out vector elements below ``level``."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (VectorType, SampleSet)
+    PARAMETERS = (ParamSpec("level", 0.0, "threshold level"),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        (a,) = inputs
+        data = np.asarray(_numeric_payload(a)).copy()
+        data[data < float(self.get_param("level"))] = 0.0
+        return [_rewrap(a, data)]
+
+
+@register_unit(category="math")
+class Clamp(Unit):
+    """Clamp vector elements into [lo, hi]."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (VectorType, SampleSet)
+    PARAMETERS = (
+        ParamSpec("lo", -1.0, "lower bound"),
+        ParamSpec("hi", 1.0, "upper bound"),
+    )
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        (a,) = inputs
+        lo, hi = float(self.get_param("lo")), float(self.get_param("hi"))
+        if lo > hi:
+            raise UnitError(f"Clamp: lo {lo} > hi {hi}")
+        return [_rewrap(a, np.clip(_numeric_payload(a), lo, hi))]
+
+
+@register_unit(category="math")
+class Normalise(Unit):
+    """Scale a vector to unit peak amplitude (zero vectors pass through)."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (VectorType, SampleSet)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        (a,) = inputs
+        data = np.asarray(_numeric_payload(a))
+        peak = np.abs(data).max() if data.size else 0.0
+        return [_rewrap(a, data / peak if peak > 0 else data)]
+
+
+@register_unit(category="math")
+class Differentiate(Unit):
+    """First difference scaled by the sampling rate."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        (sig,) = inputs
+        d = np.diff(sig.data, prepend=sig.data[:1]) * sig.sampling_rate
+        return [SampleSet(data=d, sampling_rate=sig.sampling_rate, t0=sig.t0)]
+
+
+@register_unit(category="math")
+class Integrate(Unit):
+    """Cumulative trapezoid-free running sum divided by the sampling rate."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        (sig,) = inputs
+        integ = np.cumsum(sig.data) / sig.sampling_rate
+        return [SampleSet(data=integ, sampling_rate=sig.sampling_rate, t0=sig.t0)]
+
+
+@register_unit(category="math")
+class Histogram(Unit):
+    """Bin a vector into a GraphData histogram."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (GraphData,)
+    PARAMETERS = (ParamSpec("bins", 32, "number of bins", _positive),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        (a,) = inputs
+        counts, edges = np.histogram(
+            np.asarray(_numeric_payload(a)), bins=int(self.get_param("bins"))
+        )
+        centres = 0.5 * (edges[:-1] + edges[1:])
+        return [GraphData(x=centres, y=counts.astype(float), label="histogram")]

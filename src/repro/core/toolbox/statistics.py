@@ -1,0 +1,258 @@
+"""Statistics units: running/windowed estimators over signals and vectors."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import UnitError
+from ..registry import register_unit
+from ..types import Const, SampleSet, TableData, VectorType
+from ..units import ParamSpec, Unit
+
+__all__ = [
+    "RMS",
+    "Variance",
+    "Median",
+    "Skewness",
+    "Kurtosis",
+    "ZScore",
+    "MovingAverage",
+    "ExpSmoother",
+    "PeakDetect",
+    "AutoCorrelate",
+    "ZeroCrossingRate",
+    "RunningStats",
+]
+
+
+def _positive(x) -> None:
+    if not x > 0:
+        raise ValueError(f"must be positive, got {x!r}")
+
+
+def _data_of(value: Any) -> np.ndarray:
+    if isinstance(value, (VectorType, SampleSet)):
+        return value.data
+    raise UnitError(f"expected a vector payload, got {type(value).__name__}")
+
+
+class _VecReduction(Unit):
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (Const,)
+
+    def _op(self, a: np.ndarray) -> float:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        data = _data_of(inputs[0])
+        if data.size == 0:
+            raise UnitError(f"{self.unit_name()}: empty input")
+        return [Const(value=float(self._op(data)))]
+
+
+@register_unit(category="statistics")
+class RMS(_VecReduction):
+    """Root-mean-square amplitude."""
+
+    def _op(self, a):
+        return np.sqrt(np.mean(a**2))
+
+
+@register_unit(category="statistics")
+class Variance(_VecReduction):
+    """Population variance."""
+
+    def _op(self, a):
+        return a.var()
+
+
+@register_unit(category="statistics")
+class Median(_VecReduction):
+    """Median element."""
+
+    def _op(self, a):
+        return np.median(a)
+
+
+@register_unit(category="statistics")
+class Skewness(_VecReduction):
+    """Third standardised moment (0 for symmetric data)."""
+
+    def _op(self, a):
+        s = a.std()
+        if s == 0:
+            return 0.0
+        return np.mean(((a - a.mean()) / s) ** 3)
+
+
+@register_unit(category="statistics")
+class Kurtosis(_VecReduction):
+    """Excess kurtosis (0 for a Gaussian)."""
+
+    def _op(self, a):
+        s = a.std()
+        if s == 0:
+            return 0.0
+        return np.mean(((a - a.mean()) / s) ** 4) - 3.0
+
+
+@register_unit(category="statistics")
+class ZScore(Unit):
+    """Standardise a vector to zero mean / unit variance."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (VectorType, SampleSet)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        value = inputs[0]
+        data = _data_of(value)
+        s = data.std()
+        z = (data - data.mean()) / s if s > 0 else data - data.mean()
+        if isinstance(value, SampleSet):
+            return [SampleSet(data=z, sampling_rate=value.sampling_rate, t0=value.t0)]
+        return [VectorType(data=z)]
+
+
+@register_unit(category="statistics")
+class MovingAverage(Unit):
+    """Sliding-window mean along a signal (window clamped at the edges)."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+    PARAMETERS = (ParamSpec("window", 8, "window length in samples", _positive),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        sig = inputs[0]
+        w = int(self.get_param("window"))
+        if w > len(sig.data):
+            raise UnitError("MovingAverage: window longer than the signal")
+        kernel = np.ones(w) / w
+        smoothed = np.convolve(sig.data, kernel, mode="same")
+        return [SampleSet(data=smoothed, sampling_rate=sig.sampling_rate, t0=sig.t0)]
+
+
+@register_unit(category="statistics")
+class ExpSmoother(Unit):
+    """Exponential smoothing of scalar inputs across iterations (stateful)."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (Const,)
+    OUTPUT_TYPES = (Const,)
+    PARAMETERS = (ParamSpec("alpha", 0.2, "smoothing factor in (0, 1]"),)
+
+    def reset(self) -> None:
+        self._state: float | None = None
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {"state": self._state}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self._state = state.get("state")
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        alpha = float(self.get_param("alpha"))
+        if not 0 < alpha <= 1:
+            raise UnitError(f"ExpSmoother: alpha {alpha} outside (0, 1]")
+        x = inputs[0].value
+        self._state = x if self._state is None else alpha * x + (1 - alpha) * self._state
+        return [Const(value=self._state)]
+
+
+@register_unit(category="statistics")
+class PeakDetect(Unit):
+    """Local maxima above a threshold, reported as a table of (index, value)."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (TableData,)
+    PARAMETERS = (ParamSpec("threshold", 0.0, "minimum peak height"),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        data = _data_of(inputs[0])
+        threshold = float(self.get_param("threshold"))
+        table = TableData(["index", "value"])
+        for i in range(1, len(data) - 1):
+            if data[i] > threshold and data[i] >= data[i - 1] and data[i] > data[i + 1]:
+                table.append((i, float(data[i])))
+        return [table]
+
+
+@register_unit(category="statistics")
+class AutoCorrelate(Unit):
+    """Normalised autocorrelation (lag 0..N-1) of a signal."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        sig = inputs[0]
+        n = len(sig.data)
+        if n == 0:
+            raise UnitError("AutoCorrelate: empty input")
+        x = sig.data - sig.data.mean()
+        nfft = 1 << int(np.ceil(np.log2(max(2 * n - 1, 2))))
+        f = np.fft.rfft(x, nfft)
+        acf = np.fft.irfft(f * np.conj(f), nfft)[:n]
+        if acf[0] > 0:
+            acf = acf / acf[0]
+        return [SampleSet(data=acf, sampling_rate=sig.sampling_rate)]
+
+    def estimated_flops(self, input_nbytes: int) -> float:
+        n = max(input_nbytes / 8.0, 2.0)
+        return 15.0 * n * np.log2(n)
+
+
+@register_unit(category="statistics")
+class ZeroCrossingRate(_VecReduction):
+    """Sign changes per sample — a crude frequency estimator."""
+
+    def _op(self, a):
+        if len(a) < 2:
+            return 0.0
+        return np.sum(np.abs(np.diff(np.sign(a)))) / 2.0 / (len(a) - 1)
+
+
+@register_unit(category="statistics")
+class RunningStats(Unit):
+    """Streaming mean/std over the last ``window`` scalar inputs.
+
+    Emits a 2-column table each iteration; checkpointable so a migrating
+    peer keeps its window.
+    """
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (Const,)
+    OUTPUT_TYPES = (TableData,)
+    PARAMETERS = (ParamSpec("window", 16, "history length", _positive),)
+
+    def reset(self) -> None:
+        self._history: deque[float] = deque(maxlen=int(self.get_param("window")))
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {"history": list(self._history)}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self.reset()
+        for v in state.get("history", []):
+            self._history.append(float(v))
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        self._history.append(inputs[0].value)
+        arr = np.array(self._history)
+        table = TableData(["mean", "std", "n"])
+        table.append((float(arr.mean()), float(arr.std()), len(arr)))
+        return [table]

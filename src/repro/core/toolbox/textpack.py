@@ -1,0 +1,151 @@
+"""Text-manipulation units — Triana also handles "textual data"."""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import UnitError
+from ..registry import register_unit
+from ..types import Const, TextMessage, VectorType
+from ..units import ParamSpec, Unit
+
+__all__ = [
+    "StringSource",
+    "ConcatText",
+    "UpperCase",
+    "LowerCase",
+    "RegexReplace",
+    "WordCount",
+    "SplitWords",
+    "FormatNumber",
+]
+
+
+@register_unit(category="text")
+class StringSource(Unit):
+    """Emits a fixed string every iteration."""
+
+    NUM_INPUTS = 0
+    NUM_OUTPUTS = 1
+    OUTPUT_TYPES = (TextMessage,)
+    PARAMETERS = (ParamSpec("text", "", "the text to emit"),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        return [TextMessage(text=str(self.get_param("text")))]
+
+
+@register_unit(category="text")
+class ConcatText(Unit):
+    """Join two text messages with a separator."""
+
+    NUM_INPUTS = 2
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (TextMessage,)
+    OUTPUT_TYPES = (TextMessage,)
+    PARAMETERS = (ParamSpec("separator", " ", "joining separator"),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        a, b = inputs
+        sep = str(self.get_param("separator"))
+        return [TextMessage(text=f"{a.text}{sep}{b.text}")]
+
+
+@register_unit(category="text")
+class UpperCase(Unit):
+    """Uppercase a text message."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (TextMessage,)
+    OUTPUT_TYPES = (TextMessage,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        return [TextMessage(text=inputs[0].text.upper())]
+
+
+@register_unit(category="text")
+class LowerCase(Unit):
+    """Lowercase a text message."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (TextMessage,)
+    OUTPUT_TYPES = (TextMessage,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        return [TextMessage(text=inputs[0].text.lower())]
+
+
+@register_unit(category="text")
+class RegexReplace(Unit):
+    """Regular-expression substitution over a text message."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (TextMessage,)
+    OUTPUT_TYPES = (TextMessage,)
+    PARAMETERS = (
+        ParamSpec("pattern", "", "regex to match"),
+        ParamSpec("replacement", "", "replacement text"),
+    )
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        pattern = str(self.get_param("pattern"))
+        try:
+            compiled = re.compile(pattern)
+        except re.error as exc:
+            raise UnitError(f"RegexReplace: bad pattern {pattern!r}: {exc}") from exc
+        return [
+            TextMessage(
+                text=compiled.sub(str(self.get_param("replacement")), inputs[0].text)
+            )
+        ]
+
+
+@register_unit(category="text")
+class WordCount(Unit):
+    """Count whitespace-separated words."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (TextMessage,)
+    OUTPUT_TYPES = (Const,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        return [Const(value=float(len(inputs[0].text.split())))]
+
+
+@register_unit(category="text")
+class SplitWords(Unit):
+    """Word lengths as a vector (a toy text→numeric bridge)."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (TextMessage,)
+    OUTPUT_TYPES = (VectorType,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        words = inputs[0].text.split()
+        return [VectorType(data=np.array([len(w) for w in words], dtype=float))]
+
+
+@register_unit(category="text")
+class FormatNumber(Unit):
+    """Render a scalar into a text template containing ``{value}``."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (Const,)
+    OUTPUT_TYPES = (TextMessage,)
+    PARAMETERS = (ParamSpec("template", "{value}", "format template"),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        template = str(self.get_param("template"))
+        try:
+            text = template.format(value=inputs[0].value)
+        except (KeyError, IndexError) as exc:
+            raise UnitError(f"FormatNumber: bad template {template!r}") from exc
+        return [TextMessage(text=text)]

@@ -1,0 +1,254 @@
+"""Vector / signal shaping units, including multi-output tools."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import UnitError
+from ..registry import register_unit
+from ..types import ComplexSpectrum, Const, SampleSet, Spectrum, VectorType
+from ..units import ParamSpec, Unit
+
+__all__ = [
+    "Concatenate",
+    "SplitHalf",
+    "Duplicate",
+    "Reverse",
+    "ZeroPad",
+    "TrimTo",
+    "Resample",
+    "DotProduct",
+    "L2Distance",
+    "MinMax",
+    "ComplexToPolar",
+    "Interleave",
+]
+
+
+def _positive(x) -> None:
+    if not x > 0:
+        raise ValueError(f"must be positive, got {x!r}")
+
+
+def _sig(value: Any) -> SampleSet:
+    if not isinstance(value, SampleSet):
+        raise UnitError(f"expected SampleSet, got {type(value).__name__}")
+    return value
+
+
+@register_unit(category="vector")
+class Concatenate(Unit):
+    """Join two equal-rate sample sets end-to-end."""
+
+    NUM_INPUTS = 2
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        a, b = _sig(inputs[0]), _sig(inputs[1])
+        if a.sampling_rate != b.sampling_rate:
+            raise UnitError("Concatenate: sampling-rate mismatch")
+        return [
+            SampleSet(
+                data=np.concatenate([a.data, b.data]),
+                sampling_rate=a.sampling_rate,
+                t0=a.t0,
+            )
+        ]
+
+
+@register_unit(category="vector")
+class SplitHalf(Unit):
+    """Split a sample set into first/second halves (two outputs)."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 2
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        sig = _sig(inputs[0])
+        mid = len(sig.data) // 2
+        if mid == 0:
+            raise UnitError("SplitHalf: signal too short to split")
+        first = SampleSet(data=sig.data[:mid], sampling_rate=sig.sampling_rate, t0=sig.t0)
+        second = SampleSet(
+            data=sig.data[mid:],
+            sampling_rate=sig.sampling_rate,
+            t0=sig.t0 + mid / sig.sampling_rate,
+        )
+        return [first, second]
+
+
+@register_unit(category="vector")
+class Duplicate(Unit):
+    """Fan one payload out to two outputs (explicit tee)."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 2
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        return [inputs[0], inputs[0]]
+
+
+@register_unit(category="vector")
+class Reverse(Unit):
+    """Time-reverse a sample set."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        sig = _sig(inputs[0])
+        return [SampleSet(data=sig.data[::-1].copy(),
+                          sampling_rate=sig.sampling_rate, t0=sig.t0)]
+
+
+@register_unit(category="vector")
+class ZeroPad(Unit):
+    """Append zeros up to ``length`` samples."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+    PARAMETERS = (ParamSpec("length", 512, "target length", _positive),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        sig = _sig(inputs[0])
+        target = int(self.get_param("length"))
+        if target < len(sig.data):
+            raise UnitError(
+                f"ZeroPad: target {target} shorter than signal {len(sig.data)}"
+            )
+        data = np.concatenate([sig.data, np.zeros(target - len(sig.data))])
+        return [SampleSet(data=data, sampling_rate=sig.sampling_rate, t0=sig.t0)]
+
+
+@register_unit(category="vector")
+class TrimTo(Unit):
+    """Keep only the first ``length`` samples."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+    PARAMETERS = (ParamSpec("length", 256, "samples to keep", _positive),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        sig = _sig(inputs[0])
+        target = int(self.get_param("length"))
+        if target > len(sig.data):
+            raise UnitError(f"TrimTo: signal shorter than {target}")
+        return [SampleSet(data=sig.data[:target].copy(),
+                          sampling_rate=sig.sampling_rate, t0=sig.t0)]
+
+
+@register_unit(category="vector")
+class Resample(Unit):
+    """Linear-interpolation resampling to a new rate."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+    PARAMETERS = (ParamSpec("rate", 512.0, "target sampling rate", _positive),)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        sig = _sig(inputs[0])
+        new_rate = float(self.get_param("rate"))
+        duration = len(sig.data) / sig.sampling_rate
+        n_new = max(int(round(duration * new_rate)), 1)
+        old_t = np.arange(len(sig.data)) / sig.sampling_rate
+        new_t = np.arange(n_new) / new_rate
+        data = np.interp(new_t, old_t, sig.data)
+        return [SampleSet(data=data, sampling_rate=new_rate, t0=sig.t0)]
+
+
+@register_unit(category="vector")
+class DotProduct(Unit):
+    """Inner product of two equal-length vectors → scalar."""
+
+    NUM_INPUTS = 2
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (Const,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        a, b = inputs[0].data, inputs[1].data
+        if len(a) != len(b):
+            raise UnitError(f"DotProduct: length mismatch {len(a)} vs {len(b)}")
+        return [Const(value=float(np.dot(a, b)))]
+
+
+@register_unit(category="vector")
+class L2Distance(Unit):
+    """Euclidean distance between two equal-length vectors."""
+
+    NUM_INPUTS = 2
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (Const,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        a, b = inputs[0].data, inputs[1].data
+        if len(a) != len(b):
+            raise UnitError(f"L2Distance: length mismatch {len(a)} vs {len(b)}")
+        return [Const(value=float(np.linalg.norm(a - b)))]
+
+
+@register_unit(category="vector")
+class MinMax(Unit):
+    """Emit (min, max) of a vector on two scalar outputs."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 2
+    INPUT_TYPES = (VectorType, SampleSet)
+    OUTPUT_TYPES = (Const,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        data = inputs[0].data
+        if data.size == 0:
+            raise UnitError("MinMax: empty input")
+        return [Const(value=float(data.min())), Const(value=float(data.max()))]
+
+
+@register_unit(category="vector")
+class ComplexToPolar(Unit):
+    """Split a complex spectrum into magnitude and phase spectra."""
+
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 2
+    INPUT_TYPES = (ComplexSpectrum,)
+    OUTPUT_TYPES = (Spectrum,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        spec = inputs[0]
+        return [
+            Spectrum(data=np.abs(spec.data), df=spec.df),
+            Spectrum(data=np.angle(spec.data), df=spec.df),
+        ]
+
+
+@register_unit(category="vector")
+class Interleave(Unit):
+    """Interleave two equal-length, equal-rate signals sample by sample."""
+
+    NUM_INPUTS = 2
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+
+    def process(self, inputs: Sequence[Any]) -> list[Any]:
+        a, b = _sig(inputs[0]), _sig(inputs[1])
+        if len(a.data) != len(b.data) or a.sampling_rate != b.sampling_rate:
+            raise UnitError("Interleave: inputs must match in length and rate")
+        out = np.empty(2 * len(a.data))
+        out[0::2] = a.data
+        out[1::2] = b.data
+        return [SampleSet(data=out, sampling_rate=2 * a.sampling_rate, t0=a.t0)]

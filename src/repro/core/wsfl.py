@@ -1,0 +1,166 @@
+"""WSFL-flavoured task-graph serialisation.
+
+§3.1: "A Triana network can be constructed using the GUI or directly by
+writing an XML taskgraph (in Web Services Flow Language (WSFL), Petri
+net or Business Process Enactment Language for Web Services (BPEL4WS)
+formats)."  This module provides the WSFL-style encoding as a second,
+fully round-trippable wire format:
+
+* each task is an ``<activity>`` whose ``operation`` names the unit;
+* connections are ``<dataLink source=... target=...>`` elements;
+* groups become composite activities holding a nested ``<flowModel>``
+  plus ``<export>`` node mappings and their distribution policy.
+
+``graph_to_wsfl`` / ``graph_from_wsfl`` are interchangeable with the
+native format in :mod:`repro.core.xml_io` — the same graph, two syntaxes.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from .errors import SerializationError
+from .registry import UnitRegistry, global_registry
+from .taskgraph import GroupTask, Task, TaskGraph
+
+__all__ = ["graph_to_wsfl", "graph_from_wsfl"]
+
+
+def _activity(task: Task) -> ET.Element:
+    el = ET.Element(
+        "activity", name=task.name, operation=task.unit_name,
+        version=task.descriptor.version,
+    )
+    for pname, pvalue in sorted(task.params.items()):
+        try:
+            encoded = json.dumps(pvalue)
+        except TypeError as exc:
+            raise SerializationError(
+                f"parameter {pname!r} of {task.name!r} is not serialisable"
+            ) from exc
+        ET.SubElement(el, "parameter", name=pname, value=encoded)
+    for node in range(task.num_inputs):
+        ET.SubElement(el, "input", message=f"{task.name}.in{node}")
+    for node in range(task.num_outputs):
+        ET.SubElement(el, "output", message=f"{task.name}.out{node}")
+    return el
+
+
+def _composite(group: GroupTask) -> ET.Element:
+    el = ET.Element("activity", name=group.name, kind="composite",
+                    policy=group.policy)
+    el.append(_flow_model(group.graph))
+    for idx, (tname, tnode) in enumerate(group.input_map):
+        ET.SubElement(
+            el, "export", direction="in", external=str(idx),
+            internal=f"{tname}:{tnode}",
+        )
+    for idx, (tname, tnode) in enumerate(group.output_map):
+        ET.SubElement(
+            el, "export", direction="out", external=str(idx),
+            internal=f"{tname}:{tnode}",
+        )
+    return el
+
+
+def _flow_model(graph: TaskGraph) -> ET.Element:
+    root = ET.Element("flowModel", name=graph.name)
+    for name in sorted(graph.tasks):
+        task = graph.tasks[name]
+        root.append(_composite(task) if isinstance(task, GroupTask) else _activity(task))
+    for conn in graph.connections:
+        ET.SubElement(
+            root, "dataLink",
+            source=f"{conn.src}:{conn.src_node}",
+            target=f"{conn.dst}:{conn.dst_node}",
+        )
+    return root
+
+
+def graph_to_wsfl(graph: TaskGraph) -> str:
+    """Serialise a task graph to the WSFL-style wire format."""
+    el = _flow_model(graph)
+    ET.indent(el)
+    return ET.tostring(el, encoding="unicode")
+
+
+def _split(ref: str) -> tuple[str, int]:
+    try:
+        name, node = ref.rsplit(":", 1)
+        return name, int(node)
+    except ValueError as exc:
+        raise SerializationError(f"bad node reference {ref!r}") from exc
+
+
+def _parse_flow(el: ET.Element, registry: UnitRegistry) -> TaskGraph:
+    graph = TaskGraph(name=el.get("name", "flow"), registry=registry)
+    for child in el:
+        if child.tag == "activity":
+            name = child.get("name")
+            if not name:
+                raise SerializationError("<activity> requires a name")
+            if child.get("kind") == "composite":
+                inner_el = child.find("flowModel")
+                if inner_el is None:
+                    raise SerializationError(
+                        f"composite activity {name!r} lacks a <flowModel>"
+                    )
+                inner = _parse_flow(inner_el, registry)
+                in_map: list[tuple[int, str, int]] = []
+                out_map: list[tuple[int, str, int]] = []
+                for exp in child.findall("export"):
+                    tname, tnode = _split(exp.get("internal", ""))
+                    entry = (int(exp.get("external", "0")), tname, tnode)
+                    (in_map if exp.get("direction") == "in" else out_map).append(entry)
+                in_map.sort()
+                out_map.sort()
+                graph.add_group(
+                    name,
+                    inner,
+                    [(t, n) for _i, t, n in in_map],
+                    [(t, n) for _i, t, n in out_map],
+                    policy=child.get("policy", "none"),
+                )
+            else:
+                operation = child.get("operation")
+                if not operation:
+                    raise SerializationError(
+                        f"activity {name!r} requires an operation"
+                    )
+                params = {}
+                for p in child.findall("parameter"):
+                    try:
+                        params[p.get("name")] = json.loads(p.get("value", "null"))
+                    except json.JSONDecodeError as exc:
+                        raise SerializationError(
+                            f"bad parameter encoding in {name!r}"
+                        ) from exc
+                task = graph.add_task(name, operation, **params)
+                declared = child.get("version")
+                if declared and declared != task.descriptor.version:
+                    raise SerializationError(
+                        f"activity {name!r} pins {operation}@{declared}, registry "
+                        f"has @{task.descriptor.version}"
+                    )
+        elif child.tag == "dataLink":
+            continue
+        else:
+            raise SerializationError(f"unexpected element <{child.tag}>")
+    for link in el.findall("dataLink"):
+        src, src_node = _split(link.get("source", ""))
+        dst, dst_node = _split(link.get("target", ""))
+        graph.connect(src, src_node, dst, dst_node)
+    return graph
+
+
+def graph_from_wsfl(text: str, registry: Optional[UnitRegistry] = None) -> TaskGraph:
+    """Parse the WSFL-style wire format back into a task graph."""
+    try:
+        el = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SerializationError(f"malformed WSFL: {exc}") from exc
+    if el.tag != "flowModel":
+        raise SerializationError(f"expected <flowModel>, got <{el.tag}>")
+    return _parse_flow(el, registry if registry is not None else global_registry())

@@ -1,0 +1,214 @@
+"""One-call Consumer Grid assembly — the library's front door.
+
+"To deploy the Consumer Grid, a user would need to have the Triana peer
+installed locally."  :class:`ConsumerGrid` builds the full simulated
+deployment in one line: the network, a discovery strategy, a module
+repository ("downloaded from a pre-defined portal"), a controller, and a
+fleet of volunteer workers running Triana service daemons.
+
+Example
+-------
+>>> from repro import ConsumerGrid
+>>> from tests.test_core_taskgraph import fig1_graph   # doctest: +SKIP
+>>> grid = ConsumerGrid(n_workers=4, seed=42)          # doctest: +SKIP
+>>> report = grid.run(graph, iterations=20)            # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .core.registry import UnitRegistry, global_registry
+from .core.taskgraph import TaskGraph
+from .mobility.repository import ModuleRepository
+from .mobility.sandbox import SandboxPolicy
+from .p2p.discovery import (
+    CentralIndexDiscovery,
+    DiscoveryService,
+    FloodingDiscovery,
+    RendezvousDiscovery,
+)
+from .p2p.network import DSL_PROFILE, NodeProfile, SimNetwork
+from .p2p.peer import Peer
+from .resources.availability import AvailabilityModel
+from .service.controller import RunReport, TrianaController
+from .service.worker import TrianaService
+from .simkernel import Simulator
+
+__all__ = ["ConsumerGrid"]
+
+
+def _make_discovery(kind: str, query_window: float) -> DiscoveryService:
+    if kind == "central":
+        return CentralIndexDiscovery(query_window=query_window)
+    if kind == "flooding":
+        return FloodingDiscovery(query_window=query_window)
+    if kind == "rendezvous":
+        return RendezvousDiscovery(query_window=query_window)
+    raise ValueError(f"unknown discovery kind {kind!r}")
+
+
+class ConsumerGrid:
+    """A complete simulated Consumer Grid deployment.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of volunteer worker peers.
+    seed:
+        Simulation seed (full determinism).
+    discovery:
+        ``central`` | ``flooding`` | ``rendezvous``.
+    worker_profile:
+        Link/CPU profile for volunteers (default: 2003 DSL consumer).
+    sandbox / cache_policy / worker_efficiency:
+        Forwarded to each worker's :class:`TrianaService`.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        seed: int = 0,
+        discovery: str = "central",
+        worker_profile: Optional[NodeProfile] = None,
+        controller_profile: Optional[NodeProfile] = None,
+        registry: Optional[UnitRegistry] = None,
+        sandbox_factory: Optional[Callable[[], SandboxPolicy]] = None,
+        cache_policy: str = "on_demand",
+        worker_efficiency: float = 1.0,
+        query_window: float = 2.0,
+        retry_timeout: float = 900.0,
+        retry_interval: float = 300.0,
+        jitter_fraction: float = 0.0,
+        contention: bool = False,
+        loss_fraction: float = 0.0,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.sim = Simulator(seed=seed)
+        self.network = SimNetwork(
+            self.sim,
+            jitter_fraction=jitter_fraction,
+            contention=contention,
+            loss_fraction=loss_fraction,
+        )
+        self.discovery = _make_discovery(discovery, query_window)
+        self.registry = registry if registry is not None else global_registry()
+
+        # The portal: hosts the module repository and (for central
+        # discovery) the advertisement index.
+        self.portal = Peer("portal", self.network, profile=controller_profile)
+        self.discovery.attach(self.portal)
+        self.repository = ModuleRepository(self.portal, self.registry)
+
+        self.controller_peer = Peer(
+            "controller", self.network, profile=controller_profile
+        )
+        self.discovery.attach(self.controller_peer)
+        self.controller = TrianaController(
+            self.controller_peer,
+            self.discovery,
+            retry_timeout=retry_timeout,
+            retry_interval=retry_interval,
+        )
+
+        if isinstance(self.discovery, CentralIndexDiscovery):
+            self.discovery.set_index(self.portal)
+        elif isinstance(self.discovery, RendezvousDiscovery):
+            self.discovery.add_rendezvous(self.portal)
+
+        self.workers: dict[str, TrianaService] = {}
+        self.worker_peers: dict[str, Peer] = {}
+        self.availability: dict[str, AvailabilityModel] = {}
+        for i in range(n_workers):
+            peer = Peer(f"worker-{i}", self.network, profile=worker_profile or DSL_PROFILE)
+            self.discovery.attach(peer)
+            service = TrianaService(
+                peer,
+                repository_host="portal",
+                sandbox=sandbox_factory() if sandbox_factory else SandboxPolicy(),
+                cache_policy=cache_policy,
+                efficiency=worker_efficiency,
+            )
+            self.discovery.publish(peer, service.advertisement())
+            self.workers[peer.peer_id] = service
+            self.worker_peers[peer.peer_id] = peer
+
+        if isinstance(self.discovery, FloodingDiscovery):
+            self.network.random_overlay(degree=4)
+        self.sim.run()  # settle publishes
+
+    def add_cluster_worker(
+        self,
+        name: str,
+        nodes: int = 4,
+        cores_per_node: int = 2,
+        profile: Optional[NodeProfile] = None,
+        efficiency: float = 1.0,
+    ):
+        """Add a peer that fronts a GRAM-managed cluster (§3.1).
+
+        Returns the :class:`~repro.service.cluster.ClusterTrianaService`.
+        """
+        from .resources.gram import BatchQueue
+        from .service.cluster import ClusterTrianaService
+
+        peer = Peer(name, self.network, profile=profile or DSL_PROFILE)
+        self.discovery.attach(peer)
+        queue = BatchQueue(
+            self.sim,
+            nodes=nodes,
+            cores_per_node=cores_per_node,
+            cpu_flops=peer.profile.cpu_flops * efficiency,
+        )
+        service = ClusterTrianaService(peer, repository_host="portal", queue=queue)
+        self.discovery.publish(peer, service.advertisement())
+        self.workers[name] = service
+        self.worker_peers[name] = peer
+        self.sim.run()
+        return service
+
+    # -- volunteer dynamics -----------------------------------------------------
+    def install_availability(
+        self, factory: Callable[[str], AvailabilityModel]
+    ) -> None:
+        """Give every worker an availability model (churn, screensaver...)."""
+        for peer_id, peer in self.worker_peers.items():
+            model = factory(peer_id)
+            model.install(peer)
+            self.availability[peer_id] = model
+
+    # -- running applications ------------------------------------------------------
+    def discover_workers(self, min_cpu_flops: float = 0.0) -> list[str]:
+        """Synchronous worker discovery (runs the sim until the reply)."""
+        ev = self.controller.discover_workers(min_cpu_flops)
+        return self.sim.run(until=ev)
+
+    def run(
+        self,
+        graph: TaskGraph,
+        iterations: int,
+        probes: tuple[str, ...] = (),
+        workers: Optional[list[str]] = None,
+        run_until: Optional[float] = None,
+        dispatch: str = "round_robin",
+    ) -> RunReport:
+        """Deploy and execute a task graph; blocks until completion.
+
+        ``workers`` defaults to every discovered worker; ``dispatch``
+        selects the farm policy (``round_robin`` | ``weighted``).
+        """
+        if workers is None:
+            workers = self.discover_workers()
+        done = self.controller.run_distributed(
+            graph, iterations, workers, probes, dispatch=dispatch
+        )
+        if run_until is not None:
+            self.sim.run(until=run_until)
+            if not done.processed:
+                raise TimeoutError(
+                    f"run did not finish by t={run_until}; "
+                    "increase the horizon or check churn settings"
+                )
+            return done.value
+        return self.sim.run(until=done)

@@ -1,0 +1,171 @@
+"""The per-device module cache with on-demand download.
+
+"A resource-constrained device may also decide to selectively download
+and release executable modules based on dependencies inherent within the
+connectivity graph.  This dynamic model is therefore particular useful
+for handheld and mobile devices."
+
+The cache supports two policies:
+
+* ``on_demand`` (default, the paper's model) — every execution request
+  re-validates against the repository, so versions are always current;
+* ``sticky`` — a cached module is reused without re-validation; cheaper
+  in messages but can run stale code (the problem the paper says the
+  on-demand model "overcomes").  Experiment E8 measures the trade.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..p2p.network import Message
+from ..p2p.peer import Peer
+from ..simkernel import Event
+from .errors import MobilityError, ModuleNotFoundInRepo, RepositoryUnreachable
+from .repository import ModulePackage
+
+__all__ = ["CacheStats", "ModuleCache"]
+
+_fetch_ids = itertools.count(1)
+
+
+@dataclass
+class CacheStats:
+    requests: int = 0
+    hits: int = 0
+    fetches: int = 0
+    bytes_downloaded: int = 0
+    evictions: int = 0
+    stale_uses: int = 0
+    refreshes: int = 0
+    failures: int = 0
+
+
+@dataclass
+class _Pending:
+    event: Event
+    unit_name: str
+    done: bool = False
+
+
+class ModuleCache:
+    """LRU module cache on one peer, fed by a remote repository."""
+
+    def __init__(
+        self,
+        peer: Peer,
+        repository_host: str,
+        capacity_bytes: int = 10_000_000,
+        policy: str = "on_demand",
+        fetch_timeout: float = 30.0,
+    ):
+        if policy not in ("on_demand", "sticky"):
+            raise MobilityError(f"unknown cache policy {policy!r}")
+        if capacity_bytes <= 0:
+            raise MobilityError("capacity_bytes must be positive")
+        self.peer = peer
+        self.repository_host = repository_host
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.fetch_timeout = fetch_timeout
+        self.stats = CacheStats()
+        self._cached: OrderedDict[str, ModulePackage] = OrderedDict()
+        self._pending: dict[int, _Pending] = {}
+        peer.on("module-package", self._on_package)
+
+    # -- inspection -----------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(p.code_size for p in self._cached.values())
+
+    def cached_names(self) -> list[str]:
+        return list(self._cached)
+
+    def cached_version(self, unit_name: str) -> Optional[str]:
+        pkg = self._cached.get(unit_name)
+        return pkg.version if pkg else None
+
+    # -- the on-demand protocol ---------------------------------------------------
+    def ensure(self, unit_name: str) -> Event:
+        """Make ``unit_name`` locally executable.
+
+        Returns an event yielding the :class:`ModulePackage`.  Under the
+        ``sticky`` policy a cached package is returned immediately; under
+        ``on_demand`` the repository is always consulted (refreshing the
+        cached copy if the version moved).
+        """
+        self.stats.requests += 1
+        cached = self._cached.get(unit_name)
+        if cached is not None and self.policy == "sticky":
+            self.stats.hits += 1
+            self._cached.move_to_end(unit_name)
+            ev = self.peer.sim.event()
+            ev.succeed(cached)
+            return ev
+        return self._fetch(unit_name)
+
+    def release(self, unit_name: str) -> None:
+        """Explicitly drop a module ("download and release ... on-demand")."""
+        if self._cached.pop(unit_name, None) is None:
+            raise MobilityError(f"module {unit_name!r} is not cached")
+
+    def _fetch(self, unit_name: str) -> Event:
+        request_id = next(_fetch_ids)
+        pending = _Pending(event=self.peer.sim.event(), unit_name=unit_name)
+        self._pending[request_id] = pending
+        self.stats.fetches += 1
+        self.peer.send(
+            self.repository_host,
+            "module-fetch",
+            payload=(self.peer.peer_id, request_id, unit_name),
+            size_bytes=96,
+        )
+
+        def expire() -> None:
+            entry = self._pending.pop(request_id, None)
+            if entry is not None and not entry.done:
+                entry.done = True
+                self.stats.failures += 1
+                entry.event.fail(
+                    RepositoryUnreachable(
+                        f"no reply for module {unit_name!r} within "
+                        f"{self.fetch_timeout}s"
+                    )
+                )
+
+        self.peer.sim.call_at(self.peer.sim.now + self.fetch_timeout, expire)
+        return pending.event
+
+    def _on_package(self, message: Message) -> None:
+        request_id, unit_name, pkg = message.payload
+        entry = self._pending.pop(request_id, None)
+        if entry is None or entry.done:
+            return
+        entry.done = True
+        if pkg is None:
+            self.stats.failures += 1
+            entry.event.fail(ModuleNotFoundInRepo(f"repository has no {unit_name!r}"))
+            return
+        previous = self._cached.get(unit_name)
+        if previous is not None:
+            if previous.version == pkg.version:
+                self.stats.hits += 1
+            else:
+                self.stats.refreshes += 1
+        self.stats.bytes_downloaded += pkg.code_size
+        self._cached[unit_name] = pkg
+        self._cached.move_to_end(unit_name)
+        self._evict_to_fit()
+        entry.event.succeed(pkg)
+
+    def _evict_to_fit(self) -> None:
+        while self.used_bytes > self.capacity_bytes and len(self._cached) > 1:
+            self._cached.popitem(last=False)
+            self.stats.evictions += 1
+
+    def note_stale_use(self) -> None:
+        """Record that a stale cached module was executed (E8 metric)."""
+        self.stats.stale_uses += 1

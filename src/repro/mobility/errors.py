@@ -1,0 +1,24 @@
+"""Exception hierarchy for the mobility layer."""
+
+from __future__ import annotations
+
+
+class MobilityError(Exception):
+    """Base class for all mobility errors."""
+
+
+class ModuleNotFoundInRepo(MobilityError):
+    """A fetch named a unit the repository does not host."""
+
+
+class RepositoryUnreachable(MobilityError):
+    """The module repository peer did not answer within the window."""
+
+
+class SandboxViolation(MobilityError):
+    """A module attempted (or declared) an operation the host denies.
+
+    The Java-sandbox analogue: "The sandbox ensures that an untrusted and
+    possibly malicious application cannot gain access to system
+    resources."
+    """

@@ -1,0 +1,113 @@
+"""The module repository — where executable units live (system S7).
+
+"This dynamic download of code, depending on what is to be executed by a
+peer, allows the peer to only host code that is necessary – and overcomes
+the problem of having inconsistent versions of executables (as the
+executable must be requested from the owner whenever an execution is to
+be undertaken)."
+
+A :class:`ModuleRepository` is hosted on one peer (typically the
+controller's, or the paper's "pre-defined portal") and answers
+``module-fetch`` messages with a :class:`ModulePackage`.  Publishing a new
+version of a unit bumps the authoritative version; peers that fetch on
+demand always receive the latest, while peers that reuse a stale cache can
+be *measured* doing so (experiment E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Type
+
+from ..core.registry import UnitRegistry
+from ..core.units import Unit
+from ..p2p.advertisement import ADV_MODULE, Advertisement
+from ..p2p.network import Message
+from ..p2p.peer import Peer
+from .errors import ModuleNotFoundInRepo
+
+__all__ = ["ModulePackage", "ModuleRepository"]
+
+
+@dataclass(frozen=True)
+class ModulePackage:
+    """One shipped unit implementation (the 'byte code' of the paper)."""
+
+    name: str
+    version: str
+    code_size: int
+    cls: Type[Unit]
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.name}@{self.version}"
+
+
+@dataclass
+class RepoStats:
+    fetch_requests: int = 0
+    packages_served: int = 0
+    bytes_served: int = 0
+    misses: int = 0
+
+
+class ModuleRepository:
+    """Authoritative module store served by one peer."""
+
+    def __init__(self, peer: Peer, registry: UnitRegistry):
+        self.peer = peer
+        self.registry = registry
+        self.stats = RepoStats()
+        # Version overrides let experiments publish "new releases" without
+        # defining new classes.
+        self._version_overrides: dict[str, str] = {}
+        peer.on("module-fetch", self._on_fetch)
+
+    # -- authoritative versions -----------------------------------------------
+    def current_version(self, unit_name: str) -> str:
+        desc = self.registry.lookup(unit_name)
+        return self._version_overrides.get(desc.name, desc.version)
+
+    def publish_new_version(self, unit_name: str, version: str) -> None:
+        """Release a new version of a hosted unit (same code object)."""
+        desc = self.registry.lookup(unit_name)
+        self._version_overrides[desc.name] = version
+
+    def package(self, unit_name: str) -> ModulePackage:
+        """Build the package for the current version of a unit."""
+        try:
+            desc = self.registry.lookup(unit_name)
+        except Exception as exc:
+            self.stats.misses += 1
+            raise ModuleNotFoundInRepo(str(exc)) from exc
+        return ModulePackage(
+            name=desc.name,
+            version=self.current_version(desc.name),
+            code_size=desc.code_size,
+            cls=desc.cls,
+        )
+
+    def advertisement(self) -> Advertisement:
+        """Advertise this repository so peers can find their code source."""
+        return Advertisement.make(
+            ADV_MODULE,
+            "module-repository",
+            self.peer.peer_id,
+            attrs={"host": self.peer.peer_id, "units": len(self.registry)},
+        )
+
+    # -- network protocol ----------------------------------------------------------
+    def _on_fetch(self, message: Message) -> None:
+        requester, request_id, unit_name = message.payload
+        self.stats.fetch_requests += 1
+        try:
+            pkg: Optional[ModulePackage] = self.package(unit_name)
+        except ModuleNotFoundInRepo:
+            pkg = None
+        size = 64 + (pkg.code_size if pkg else 0)
+        if pkg is not None:
+            self.stats.packages_served += 1
+            self.stats.bytes_served += pkg.code_size
+        self.peer.send(
+            requester, "module-package", payload=(request_id, unit_name, pkg), size_bytes=size
+        )

@@ -1,0 +1,138 @@
+"""Advertisements — the JXTA-style self-describing resource records.
+
+"Peer naming, grouping, and advertising is achieved using JXTA."  An
+advertisement is a small typed record published into a discovery service:
+peers advertise themselves (with capability attributes such as "CPU
+capability and available free memory", §4), pipes advertise their unique
+names, and module repositories advertise downloadable units.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Advertisement", "AdvCache", "ADV_PEER", "ADV_PIPE", "ADV_SERVICE", "ADV_MODULE"]
+
+ADV_PEER = "peer"
+ADV_PIPE = "pipe"
+ADV_SERVICE = "service"
+ADV_MODULE = "module"
+
+_adv_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """One published resource record.
+
+    Attributes
+    ----------
+    adv_type:
+        One of ``peer | pipe | service | module``.
+    name:
+        Resource name (unique pipe name, peer id, service kind...).
+    publisher:
+        Peer id that published the record.
+    attrs:
+        Free-form attribute map used for predicate matching, e.g.
+        ``{"cpu_flops": 2e9, "free_ram": 256e6}``.
+    expires_at:
+        Absolute sim time after which the record is stale; ``inf`` = never.
+    """
+
+    adv_type: str
+    name: str
+    publisher: str
+    attrs: tuple[tuple[str, Any], ...] = ()
+    expires_at: float = float("inf")
+    adv_id: int = field(default_factory=lambda: next(_adv_counter))
+
+    @staticmethod
+    def make(
+        adv_type: str,
+        name: str,
+        publisher: str,
+        attrs: Optional[dict[str, Any]] = None,
+        expires_at: float = float("inf"),
+    ) -> "Advertisement":
+        """Build an advertisement from a plain attribute dict."""
+        items = tuple(sorted((attrs or {}).items()))
+        return Advertisement(adv_type, name, publisher, items, expires_at)
+
+    @property
+    def attributes(self) -> dict[str, Any]:
+        return dict(self.attrs)
+
+    def matches(
+        self,
+        adv_type: Optional[str] = None,
+        name: Optional[str] = None,
+        predicate: Optional[Callable[[dict[str, Any]], bool]] = None,
+    ) -> bool:
+        """True if this record satisfies the query."""
+        if adv_type is not None and self.adv_type != adv_type:
+            return False
+        if name is not None and self.name != name:
+            return False
+        if predicate is not None and not predicate(self.attributes):
+            return False
+        return True
+
+    def wire_size(self) -> int:
+        """Modelled serialised size in bytes."""
+        return 128 + 32 * len(self.attrs)
+
+
+class AdvCache:
+    """A peer-local advertisement cache with expiry.
+
+    Duplicate publishes of the same (type, name, publisher) replace the
+    old record — re-publishing refreshes the expiry.
+    """
+
+    def __init__(self):
+        self._records: dict[tuple[str, str, str], Advertisement] = {}
+
+    def put(self, adv: Advertisement) -> None:
+        self._records[(adv.adv_type, adv.name, adv.publisher)] = adv
+
+    def remove(self, adv: Advertisement) -> None:
+        self._records.pop((adv.adv_type, adv.name, adv.publisher), None)
+
+    def remove_publisher(self, publisher: str) -> int:
+        """Drop every record from one publisher; returns how many."""
+        doomed = [k for k in self._records if k[2] == publisher]
+        for k in doomed:
+            del self._records[k]
+        return len(doomed)
+
+    def query(
+        self,
+        now: float,
+        adv_type: Optional[str] = None,
+        name: Optional[str] = None,
+        predicate: Optional[Callable[[dict[str, Any]], bool]] = None,
+    ) -> list[Advertisement]:
+        """Matching, unexpired records (deterministic order)."""
+        self.expire(now)
+        hits = [
+            adv
+            for adv in self._records.values()
+            if adv.matches(adv_type, name, predicate)
+        ]
+        return sorted(hits, key=lambda a: a.adv_id)
+
+    def expire(self, now: float) -> int:
+        """Remove stale records; returns how many were dropped."""
+        doomed = [k for k, adv in self._records.items() if adv.expires_at <= now]
+        for k in doomed:
+            del self._records[k]
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(sorted(self._records.values(), key=lambda a: a.adv_id))

@@ -1,0 +1,273 @@
+"""The simulated consumer network (system S2).
+
+The paper targets "resources such as DSL/Cable" — asymmetric, modest-
+bandwidth home links with appreciable latency — connected over an overlay.
+This module models exactly that on top of the discrete-event kernel:
+
+* every node has a :class:`NodeProfile` (uplink/downlink bandwidth,
+  access latency, CPU speed used by the execution cost model);
+* message delivery time = source access latency + destination access
+  latency + serialisation time over the slower of the two directions
+  (uplink of the sender, downlink of the receiver), plus deterministic
+  jitter drawn from a named RNG stream;
+* nodes can be taken offline (churn); messages to offline nodes are
+  counted and dropped — reliability is the job of higher layers;
+* an optional *overlay graph* restricts which nodes are neighbours, which
+  is what flooding discovery walks.
+
+All behaviour is deterministic for a given simulator seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import networkx as nx
+
+from ..simkernel import Simulator
+from .errors import NetworkError
+
+__all__ = ["NodeProfile", "Message", "NetStats", "SimNetwork", "DSL_PROFILE", "LAN_PROFILE"]
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Link and host characteristics of one network node.
+
+    Defaults approximate a 2003-era DSL consumer line and desktop PC.
+    """
+
+    up_bps: float = 256e3 / 8  # 256 kbit/s uplink in bytes/s
+    down_bps: float = 1e6 / 8  # 1 Mbit/s downlink in bytes/s
+    latency_s: float = 0.020  # one-way access latency
+    cpu_flops: float = 2.0e9  # ~2 GHz PC (the paper's reference machine)
+    ram_bytes: int = 512 * 1024 * 1024
+
+    def __post_init__(self):
+        if self.up_bps <= 0 or self.down_bps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if self.cpu_flops <= 0:
+            raise ValueError("cpu_flops must be positive")
+
+
+#: Convenience profiles.
+DSL_PROFILE = NodeProfile()
+LAN_PROFILE = NodeProfile(
+    up_bps=100e6 / 8, down_bps=100e6 / 8, latency_s=0.0005, cpu_flops=2.0e9
+)
+
+
+@dataclass
+class Message:
+    """One network message."""
+
+    kind: str
+    src: str
+    dst: str
+    payload: Any = None
+    size_bytes: int = 256
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+
+
+@dataclass
+class NetStats:
+    """Aggregate traffic accounting for one network."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_offline: int = 0
+    dropped_loss: int = 0
+    bytes_sent: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+
+class SimNetwork:
+    """Message-passing fabric connecting simulated nodes.
+
+    With ``contention=False`` (default) transfers are independent: each
+    message takes its own :meth:`transfer_time` regardless of concurrent
+    traffic.  With ``contention=True`` each node's uplink and downlink
+    are serialised resources — concurrent sends queue, which is how a
+    consumer DSL line actually behaves when a controller blasts frames
+    at a farm.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        jitter_fraction: float = 0.1,
+        contention: bool = False,
+        loss_fraction: float = 0.0,
+    ):
+        if not 0.0 <= loss_fraction < 1.0:
+            raise NetworkError("loss_fraction must be in [0, 1)")
+        self.sim = sim
+        self.jitter_fraction = jitter_fraction
+        self.contention = contention
+        self.loss_fraction = loss_fraction
+        self._profiles: dict[str, NodeProfile] = {}
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self._online: dict[str, bool] = {}
+        self._uplinks: dict[str, "object"] = {}
+        self._downlinks: dict[str, "object"] = {}
+        self.overlay = nx.Graph()
+        self.stats = NetStats()
+
+    # -- membership ---------------------------------------------------------
+    def add_node(
+        self,
+        node_id: str,
+        handler: Callable[[Message], None],
+        profile: Optional[NodeProfile] = None,
+    ) -> None:
+        """Register a node with its message handler."""
+        if node_id in self._profiles:
+            raise NetworkError(f"node {node_id!r} already registered")
+        self._profiles[node_id] = profile or DSL_PROFILE
+        self._handlers[node_id] = handler
+        self._online[node_id] = True
+        self.overlay.add_node(node_id)
+
+    def remove_node(self, node_id: str) -> None:
+        self._require(node_id)
+        del self._profiles[node_id]
+        del self._handlers[node_id]
+        del self._online[node_id]
+        self.overlay.remove_node(node_id)
+
+    def nodes(self) -> list[str]:
+        return list(self._profiles)
+
+    def profile(self, node_id: str) -> NodeProfile:
+        self._require(node_id)
+        return self._profiles[node_id]
+
+    def _require(self, node_id: str) -> None:
+        if node_id not in self._profiles:
+            raise NetworkError(f"unknown node {node_id!r}")
+
+    # -- liveness -------------------------------------------------------------
+    def set_online(self, node_id: str, online: bool) -> None:
+        self._require(node_id)
+        self._online[node_id] = online
+
+    def is_online(self, node_id: str) -> bool:
+        self._require(node_id)
+        return self._online[node_id]
+
+    # -- overlay -------------------------------------------------------------
+    def add_edge(self, a: str, b: str) -> None:
+        """Declare two nodes overlay neighbours (for flooding)."""
+        self._require(a)
+        self._require(b)
+        self.overlay.add_edge(a, b)
+
+    def neighbours(self, node_id: str) -> list[str]:
+        self._require(node_id)
+        return sorted(self.overlay.neighbors(node_id))
+
+    def random_overlay(self, degree: int = 4, stream: str = "overlay") -> None:
+        """Wire a random connected overlay of roughly the given degree."""
+        ids = sorted(self._profiles)
+        if len(ids) < 2:
+            return
+        rng = self.sim.rng(stream)
+        # Ring ensures connectivity; extra random edges approximate degree.
+        for i, node in enumerate(ids):
+            self.overlay.add_edge(node, ids[(i + 1) % len(ids)])
+        extra = max(0, (degree - 2)) * len(ids) // 2
+        for _ in range(extra):
+            a, b = rng.choice(len(ids), size=2, replace=False)
+            self.overlay.add_edge(ids[a], ids[b])
+
+    # -- transfer model -----------------------------------------------------------
+    def transfer_time(self, src: str, dst: str, size_bytes: int) -> float:
+        """Modelled one-way delivery time for ``size_bytes``."""
+        p_src, p_dst = self.profile(src), self.profile(dst)
+        wire = size_bytes / min(p_src.up_bps, p_dst.down_bps)
+        return p_src.latency_s + p_dst.latency_s + wire
+
+    def send(self, message: Message) -> float:
+        """Schedule delivery of ``message``; returns the modelled delay.
+
+        Messages to offline (or sender-offline) nodes are dropped silently
+        apart from stats — consumer links fail without notice.
+        """
+        self._require(message.src)
+        self._require(message.dst)
+        self.stats.sent += 1
+        self.stats.bytes_sent += message.size_bytes
+        self.stats.by_kind[message.kind] = self.stats.by_kind.get(message.kind, 0) + 1
+        delay = self.transfer_time(message.src, message.dst, message.size_bytes)
+        if self.jitter_fraction > 0:
+            jitter = self.sim.rng("net-jitter").uniform(0, self.jitter_fraction)
+            delay *= 1.0 + jitter
+        if not self._online[message.src] or not self._online[message.dst]:
+            self.stats.dropped_offline += 1
+            return delay
+        if (
+            self.loss_fraction > 0.0
+            and self.sim.rng("net-loss").random() < self.loss_fraction
+        ):
+            self.stats.dropped_loss += 1
+            return delay
+
+        def deliver() -> None:
+            # The destination may have gone offline while in flight.
+            if not self._online.get(message.dst, False):
+                self.stats.dropped_offline += 1
+                return
+            self.stats.delivered += 1
+            self._handlers[message.dst](message)
+
+        if self.contention:
+            self.sim.process(
+                self._contended_delivery(message, deliver),
+                name="net-transfer",
+            )
+        else:
+            self.sim.call_at(self.sim.now + delay, deliver)
+        return delay
+
+    def _link(self, table: dict, node_id: str) -> "Resource":
+        from ..simkernel import Resource
+
+        if node_id not in table:
+            table[node_id] = Resource(self.sim, capacity=1)
+        return table[node_id]
+
+    def _contended_delivery(self, message: Message, deliver: Callable[[], None]):
+        """Serialise the wire time on the sender's uplink, then the
+        receiver's downlink, with access latency in between."""
+        p_src = self.profile(message.src)
+        p_dst = self.profile(message.dst)
+        up = self._link(self._uplinks, message.src)
+        req = up.request()
+        yield req
+        try:
+            yield self.sim.timeout(message.size_bytes / p_src.up_bps)
+        finally:
+            up.release(req)
+        yield self.sim.timeout(p_src.latency_s + p_dst.latency_s)
+        down = self._link(self._downlinks, message.dst)
+        req = down.request()
+        yield req
+        try:
+            yield self.sim.timeout(message.size_bytes / p_dst.down_bps)
+        finally:
+            down.release(req)
+        deliver()
+
+    def broadcast(self, src: str, kind: str, payload: Any, size_bytes: int = 256) -> int:
+        """Send to every overlay neighbour; returns number of sends."""
+        count = 0
+        for nb in self.neighbours(src):
+            self.send(Message(kind=kind, src=src, dst=nb, payload=payload, size_bytes=size_bytes))
+            count += 1
+        return count

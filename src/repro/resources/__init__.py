@@ -1,0 +1,50 @@
+"""Resource substrate (system S8): hosts, volunteers, batch gateways, accounts.
+
+* :class:`ComputeHost` — flops → simulated seconds on a host profile
+* availability models — :class:`AlwaysOn`, :class:`PoissonChurn`,
+  :class:`ScreensaverCycle` (the volunteer dynamics of §3.7)
+* :class:`BatchQueue` / :class:`GramGateway` — the Globus-GRAM cluster path
+* account managers — Globus-style per-user accounts vs the Triana virtual
+  account with billing (§2)
+"""
+
+from .accounts import (
+    CertificateAuthority,
+    Credential,
+    GlobusAccountManager,
+    UsageRecord,
+    VirtualAccountManager,
+)
+from .availability import (
+    AlwaysOn,
+    AvailabilityModel,
+    AvailabilityStats,
+    PoissonChurn,
+    ScreensaverCycle,
+    fleet_availability,
+)
+from .errors import AuthenticationError, QueueError, ResourceError
+from .gram import BatchQueue, GramGateway, JobSpec
+from .host import ComputeHost, HostStats
+
+__all__ = [
+    "AlwaysOn",
+    "AuthenticationError",
+    "AvailabilityModel",
+    "AvailabilityStats",
+    "BatchQueue",
+    "CertificateAuthority",
+    "ComputeHost",
+    "Credential",
+    "GlobusAccountManager",
+    "GramGateway",
+    "HostStats",
+    "JobSpec",
+    "PoissonChurn",
+    "QueueError",
+    "ResourceError",
+    "ScreensaverCycle",
+    "UsageRecord",
+    "VirtualAccountManager",
+    "fleet_availability",
+]

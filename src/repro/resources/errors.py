@@ -1,0 +1,15 @@
+"""Exception hierarchy for the resource substrate."""
+
+from __future__ import annotations
+
+
+class ResourceError(Exception):
+    """Base class for resource-layer errors."""
+
+
+class AuthenticationError(ResourceError):
+    """A credential was missing, expired, or signed by an untrusted CA."""
+
+
+class QueueError(ResourceError):
+    """Batch queue misuse (bad job spec, unknown job...)."""

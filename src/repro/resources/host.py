@@ -1,0 +1,76 @@
+"""Compute-host execution model.
+
+The second execution plane of DESIGN.md §5: grid-scale experiments do not
+*run* the five-hour matched-filter chunks, they *account* for them.  A
+:class:`ComputeHost` turns modelled flops into simulated seconds at the
+host's CPU speed, serialising work over its cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..p2p.network import NodeProfile
+from ..simkernel import Event, Resource, Simulator
+from .errors import ResourceError
+
+__all__ = ["ComputeHost", "HostStats"]
+
+
+@dataclass
+class HostStats:
+    jobs_run: int = 0
+    busy_seconds: float = 0.0
+    flops_done: float = 0.0
+
+
+class ComputeHost:
+    """One machine's CPU, as seen by the execution cost model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: NodeProfile | None = None,
+        cores: int = 1,
+        efficiency: float = 1.0,
+    ):
+        if cores < 1:
+            raise ResourceError("cores must be >= 1")
+        if not 0 < efficiency <= 1.0:
+            raise ResourceError("efficiency must be in (0, 1]")
+        self.sim = sim
+        self.profile = profile or NodeProfile()
+        self.cores = Resource(sim, capacity=cores)
+        self.efficiency = efficiency
+        self.stats = HostStats()
+
+    def duration_of(self, flops: float) -> float:
+        """Seconds one core needs for ``flops`` of work."""
+        if flops < 0:
+            raise ResourceError("flops must be >= 0")
+        return flops / (self.profile.cpu_flops * self.efficiency)
+
+    def run(self, flops: float) -> Event:
+        """Execute work; returns the completion event (value = duration)."""
+        duration = self.duration_of(flops)
+
+        def job(sim: Simulator):
+            req = self.cores.request()
+            yield req
+            try:
+                yield sim.timeout(duration)
+            finally:
+                self.cores.release(req)
+            self.stats.jobs_run += 1
+            self.stats.busy_seconds += duration
+            self.stats.flops_done += flops
+            return duration
+
+        return self.sim.process(job(self.sim), name="compute-job")
+
+    @property
+    def utilisation_possible(self) -> float:
+        """Busy-seconds so far divided by elapsed wall-clock × cores."""
+        if self.sim.now == 0:
+            return 0.0
+        return self.stats.busy_seconds / (self.sim.now * self.cores.capacity)

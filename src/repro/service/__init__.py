@@ -1,0 +1,38 @@
+"""Triana service layer (system S6): workers, controller, distribution.
+
+The paper's Fig. 3 architecture: Triana Controller (TC) ↔ Triana Service
+(TS) daemons, with module deployment over pipes and on-demand code
+download.
+
+* :class:`TrianaService` — the worker daemon (server component)
+* :class:`TrianaController` — the scheduling manager (client + command
+  process components)
+* :func:`partition_for_group` — splits a graph around its policy group
+"""
+
+from .cluster import ClusterTrianaService
+from .controller import RunReport, TrianaController
+from .errors import DeploymentError, MigrationError, SchedulingError, ServiceError
+from .monitor import ProgressEvent, ProgressMonitor, TextProgressView, WapProgressView
+from .partition import GroupPartition, find_distributable_group, partition_for_group
+from .worker import WORKER_SERVICE_KIND, DeploymentSpec, TrianaService
+
+__all__ = [
+    "ClusterTrianaService",
+    "DeploymentError",
+    "DeploymentSpec",
+    "GroupPartition",
+    "MigrationError",
+    "ProgressEvent",
+    "ProgressMonitor",
+    "RunReport",
+    "SchedulingError",
+    "ServiceError",
+    "TextProgressView",
+    "TrianaController",
+    "TrianaService",
+    "WORKER_SERVICE_KIND",
+    "WapProgressView",
+    "find_distributable_group",
+    "partition_for_group",
+]

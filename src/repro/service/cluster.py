@@ -1,0 +1,102 @@
+"""A Triana peer fronting a batch-managed cluster.
+
+"The server component within each peer can interact with Globus GRAM to
+launch jobs locally on the node.  This is useful to support nodes which
+host parallel machines or workstations clusters.  A Triana network
+therefore can be composed of a number of different kinds of resource
+management systems – supported via a gateway between a Triana Peer and
+the particular system used to launch and manage jobs."
+
+:class:`ClusterTrianaService` behaves exactly like a volunteer
+:class:`~repro.service.worker.TrianaService` on the wire, but executes
+iterations by submitting jobs to a local :class:`~repro.resources.gram.
+BatchQueue` through a :class:`~repro.resources.gram.GramGateway` —
+authenticated with a CA credential, billed to an account — so queued
+iterations run **concurrently** across the cluster's slots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..resources.accounts import (
+    CertificateAuthority,
+    Credential,
+    GlobusAccountManager,
+)
+from ..resources.gram import BatchQueue, GramGateway, JobSpec
+from ..p2p.peer import Peer
+from ..mobility.sandbox import SandboxPolicy
+from .worker import TrianaService, _Deployment
+
+__all__ = ["ClusterTrianaService"]
+
+
+class ClusterTrianaService(TrianaService):
+    """Worker whose execution engine is a local batch resource manager.
+
+    Parameters
+    ----------
+    queue:
+        The cluster's batch queue (nodes × cores slots).
+    gateway / credential:
+        Authenticated submission path; if omitted, a private CA, account
+        and gateway are provisioned (the common self-managed cluster).
+    """
+
+    def __init__(
+        self,
+        peer: Peer,
+        repository_host: str,
+        queue: Optional[BatchQueue] = None,
+        gateway: Optional[GramGateway] = None,
+        credential: Optional[Credential] = None,
+        grid_user: str = "triana",
+        sandbox: Optional[SandboxPolicy] = None,
+        **kwargs,
+    ):
+        super().__init__(peer, repository_host, sandbox=sandbox, **kwargs)
+        self.queue = queue or BatchQueue(
+            peer.sim, nodes=4, cores_per_node=2, cpu_flops=peer.profile.cpu_flops
+        )
+        if gateway is None:
+            ca = CertificateAuthority(f"{peer.peer_id}-ca")
+            accounts = GlobusAccountManager(ca)
+            accounts.create_account(grid_user)
+            gateway = GramGateway(self.queue, ca, accounts)
+            credential = ca.issue(grid_user, now=peer.sim.now)
+        if credential is None:
+            raise ValueError("a credential is required with an external gateway")
+        self.gateway = gateway
+        self.credential = credential
+        self.grid_user = grid_user
+
+    def _exec_loop(self, dep: _Deployment):
+        """Submit each queued iteration as a batch job (concurrent slots).
+
+        Payload computation happens immediately (it is cheap host work);
+        the *modelled* cluster time is charged through the queue, and the
+        result ships when the job completes.
+        """
+        while True:
+            iteration, inputs = yield dep.queue.get()
+            external = {
+                key: value for key, value in zip(dep.spec.external_inputs, inputs)
+            }
+            flops_before = dep.engine.stats.modelled_flops
+            outputs_map = dep.engine.step(external)
+            flops = dep.engine.stats.modelled_flops - flops_before
+            outputs = [outputs_map[t][n] for t, n in dep.spec.output_spec]
+            job = self.gateway.submit(
+                JobSpec(flops=max(flops, 1.0), user=self.grid_user),
+                self.credential,
+            )
+
+            def on_done(ev, iteration=iteration, outputs=outputs, dep=dep):
+                if ev.ok:
+                    self.stats.iterations += 1
+                    self.stats.busy_seconds += ev.value
+                    dep.iterations_done += 1
+                    self._ship(dep, iteration, outputs)
+
+            job.callbacks.append(on_done)

@@ -1,0 +1,608 @@
+"""The Triana controller — "a scheduling manager for the complete
+application being run over a Triana network".
+
+The controller is itself just a peer (P2P, not client-server): it
+discovers worker services, extracts the policy-carrying group from the
+task graph, deploys sub-graphs as XML, streams per-iteration data to the
+placed replicas/stages, and feeds returning results into the locally-run
+downstream zone.
+
+Distribution policies (§3.3):
+
+* ``parallel`` — "a farming out mechanism and generally involves no
+  communication between hosts": the whole group is replicated on k peers
+  and iterations are dealt round-robin, results re-ordered by iteration.
+* ``p2p`` — "distributing the group vertically i.e. each unit in the
+  group is distributed onto a separate resource and data is passed
+  between them": a pipelined chain with stage-to-stage pipes.
+
+Churn recovery: results that fail to return within ``retry_timeout`` are
+re-dispatched to the next live replica (parallel policy) — the paper's
+"simply distributing the code to as many computers that are available
+until the results are being returned with the specified time interval".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.engine import LocalEngine, Probe
+from ..core.taskgraph import GroupTask, TaskGraph
+from ..core.xml_io import graph_to_string
+from ..p2p.advertisement import ADV_SERVICE
+from ..p2p.discovery import DiscoveryService
+from ..p2p.network import Message
+from ..p2p.peer import Peer
+from ..simkernel import Event, Simulator
+from .errors import DeploymentError, MigrationError, SchedulingError
+from .partition import GroupPartition, find_distributable_group, partition_for_group
+from .worker import WORKER_SERVICE_KIND, DeploymentSpec
+
+__all__ = ["RunReport", "TrianaController"]
+
+_dep_ids = itertools.count(1)
+
+
+@dataclass
+class RunReport:
+    """Outcome of one distributed application run."""
+
+    iterations: int
+    makespan: float
+    deploy_time: float
+    group_results: list[list[Any]] = field(default_factory=list)
+    probe_values: dict[str, list[Any]] = field(default_factory=dict)
+    placements: dict[str, str] = field(default_factory=dict)
+    redispatches: int = 0
+    policy: str = "none"
+    #: network traffic attributable to this run (deltas over the run)
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_dropped: int = 0
+
+
+@dataclass
+class _Outstanding:
+    inputs: list[Any]
+    base_replica: int
+    dispatched_at: float
+    attempts: int = 0
+
+
+class TrianaController:
+    """Client + command-process components of the Triana service."""
+
+    def __init__(
+        self,
+        peer: Peer,
+        discovery: DiscoveryService,
+        retry_timeout: float = 900.0,
+        retry_interval: float = 300.0,
+        deploy_timeout: float = 600.0,
+    ):
+        self.peer = peer
+        self.sim: Simulator = peer.sim
+        self.discovery = discovery
+        self.retry_timeout = retry_timeout
+        self.retry_interval = retry_interval
+        self.deploy_timeout = deploy_timeout
+        self._ack_events: dict[str, Event] = {}
+        self._result_events: dict[int, Event] = {}
+        self._checkpoint_events: dict[str, Event] = {}
+        self._drain_events: dict[str, Event] = {}
+        #: engines of the most recent run, for sink-unit inspection
+        self.last_upstream: Optional[LocalEngine] = None
+        self.last_downstream: Optional[LocalEngine] = None
+        #: (worker, spec) per stage of the most recent p2p chain
+        self._last_chain: list[tuple[str, DeploymentSpec]] = []
+        #: subscribed progress views (§3.2 disconnected UI)
+        self.monitors: list = []
+        #: (policy, iteration→replica) of the farm currently in flight
+        self._active_dispatch = None
+        self._reparam_events: dict[tuple[str, str], Event] = {}
+        peer.on("deploy-ack", self._on_ack)
+        peer.on("group-result", self._on_result)
+        peer.on("checkpoint-reply", self._on_checkpoint_reply)
+        peer.on("drain-reply", self._on_drain_reply)
+        peer.on("reparam-ack", self._on_reparam_ack)
+
+    # -- progress views --------------------------------------------------------
+    def attach_monitor(self, monitor) -> None:
+        """Subscribe a progress view (browser page, WAP status, ...)."""
+        self.monitors.append(monitor)
+
+    def _notify(self, kind: str, **data) -> None:
+        if not self.monitors:
+            return
+        from .monitor import ProgressEvent
+
+        event = ProgressEvent(
+            time=self.sim.now, kind=kind, data=tuple(sorted(data.items()))
+        )
+        for monitor in self.monitors:
+            monitor.notify(event)
+
+    # -- message handlers -----------------------------------------------------
+    def _on_ack(self, message: Message) -> None:
+        deployment_id, error = message.payload
+        ev = self._ack_events.get(deployment_id)
+        if ev is not None and not ev.triggered:
+            if error is None:
+                ev.succeed(deployment_id)
+            else:
+                ev.fail(DeploymentError(f"{deployment_id}: {error}"))
+
+    def _on_result(self, message: Message) -> None:
+        _dep_id, iteration, outputs = message.payload
+        ev = self._result_events.get(iteration)
+        if ev is not None and not ev.triggered:
+            if self._active_dispatch is not None:
+                policy, replica_of = self._active_dispatch
+                if iteration in replica_of:
+                    policy.completed(replica_of.pop(iteration))
+            ev.succeed(outputs)
+
+    def _on_checkpoint_reply(self, message: Message) -> None:
+        deployment_id, state = message.payload
+        ev = self._checkpoint_events.get(deployment_id)
+        if ev is not None and not ev.triggered:
+            ev.succeed(state)
+
+    def _on_drain_reply(self, message: Message) -> None:
+        deployment_id, state, leftovers = message.payload
+        ev = self._drain_events.get(deployment_id)
+        if ev is not None and not ev.triggered:
+            ev.succeed((state, leftovers))
+
+    def _on_reparam_ack(self, message: Message) -> None:
+        deployment_id, task_name, error = message.payload
+        ev = self._reparam_events.pop((deployment_id, task_name), None)
+        if ev is not None and not ev.triggered:
+            if error is None:
+                ev.succeed(deployment_id)
+            else:
+                ev.fail(SchedulingError(f"reparam failed: {error}"))
+
+    def update_params(
+        self, worker: str, deployment_id: str, task: str, **params
+    ) -> Event:
+        """Re-parameterise a live deployed unit (no redeploy, no code).
+
+        Returns an event that succeeds when the worker confirms, or fails
+        with :class:`SchedulingError` if the worker rejects the update.
+        """
+        ev = self.sim.event()
+        self._reparam_events[(deployment_id, task)] = ev
+        self.peer.send(
+            worker,
+            "triana-reparam",
+            payload=(self.peer.peer_id, deployment_id, task, dict(params)),
+            size_bytes=128,
+        )
+        return ev
+
+    # -- worker discovery ----------------------------------------------------------
+    def discover_workers(self, min_cpu_flops: float = 0.0) -> Event:
+        """Find Triana worker services ("CPU capability" attribute match).
+
+        Returns an event yielding a sorted list of worker peer ids.
+        """
+        def pred(attrs: dict[str, Any]) -> bool:
+            return (
+                attrs.get("kind") == WORKER_SERVICE_KIND
+                and attrs.get("cpu_flops", 0.0) >= min_cpu_flops
+            )
+
+        query = self.discovery.query(self.peer, adv_type=ADV_SERVICE, predicate=pred)
+        found = self.sim.event()
+
+        def collect(ev: Event) -> None:
+            hosts = sorted({adv.attributes["host"] for adv in ev.value})
+            found.succeed(hosts)
+
+        query.callbacks.append(collect)
+        return found
+
+    def request_checkpoint(self, worker: str, deployment_id: str) -> Event:
+        """Pull a deployment's unit state (migration support)."""
+        ev = self.sim.event()
+        self._checkpoint_events[deployment_id] = ev
+        self.peer.send(
+            worker, "triana-checkpoint", payload=(self.peer.peer_id, deployment_id)
+        )
+        return ev
+
+    # -- the distributed run ------------------------------------------------------------
+    def run_distributed(
+        self,
+        graph: TaskGraph,
+        iterations: int,
+        workers: list[str],
+        probes: tuple[str, ...] = (),
+        dispatch: str = "round_robin",
+    ) -> Event:
+        """Execute ``graph`` for ``iterations`` over ``workers``.
+
+        ``dispatch`` selects the farm policy: ``round_robin`` (default)
+        or ``weighted`` (capability-aware, for heterogeneous fleets).
+        Returns a process event yielding a :class:`RunReport`.
+        """
+        if iterations < 1:
+            raise SchedulingError("iterations must be >= 1")
+        return self.sim.process(
+            self._run_proc(graph, iterations, list(workers), probes, dispatch),
+            name="triana-run",
+        )
+
+    def _run_proc(self, graph, iterations, workers, probes, dispatch="round_robin"):
+        start = self.sim.now
+        net = self.peer.network.stats
+        net_before = (net.sent, net.bytes_sent, net.dropped_offline + net.dropped_loss)
+        group = find_distributable_group(graph)
+        if group is None:
+            report = self._run_local(graph, iterations, probes)
+            report.makespan = self.sim.now - start
+            return report
+            yield  # pragma: no cover - makes this a generator
+
+        if not workers:
+            raise SchedulingError("no workers available for a distributed run")
+        part = partition_for_group(graph, group.name)
+        engine_a = LocalEngine(part.upstream)
+        engine_b = LocalEngine(
+            part.downstream, external_inputs=part.downstream_external_inputs()
+        )
+        # Exposed for post-run inspection (sink units live here).
+        self.last_upstream = engine_a
+        self.last_downstream = engine_b
+        attached = self._attach_probes(probes, engine_a, engine_b)
+
+        # -- deploy phase ---------------------------------------------------
+        self._notify(
+            "run-started",
+            graph=graph.name,
+            iterations=iterations,
+            policy=group.policy,
+        )
+        deploy_start = self.sim.now
+        if group.policy == "parallel":
+            placements = yield from self._deploy_parallel(group, workers)
+        else:
+            placements = yield from self._deploy_chain(group, workers)
+        deploy_time = self.sim.now - deploy_start
+        for dep_id, worker in placements.items():
+            self._notify("deployed", deployment=dep_id, worker=worker)
+
+        # -- dispatch every iteration's inputs -------------------------------
+        self._result_events = {it: self.sim.event() for it in range(iterations)}
+        outstanding: dict[int, _Outstanding] = {}
+        cross_vals: dict[int, dict[tuple[str, int], Any]] = {}
+        dep_ids = list(placements)
+        replica_hosts = [placements[d] for d in dep_ids]
+
+        from .placement import make_dispatch_policy
+
+        policy = make_dispatch_policy(dispatch)
+        policy.setup(
+            [self.peer.network.profile(h).cpu_flops for h in replica_hosts]
+        )
+        replica_of: dict[int, int] = {}
+        self._active_dispatch = (policy, replica_of)
+
+        for it in range(iterations):
+            a_out = engine_a.step()
+            inputs = [a_out[c.src][c.src_node] for c in part.to_group]
+            cross_vals[it] = {
+                (c.dst, c.dst_node): a_out[c.src][c.src_node] for c in part.cross
+            }
+            if group.policy == "parallel":
+                replica = policy.choose(it)
+                replica_of[it] = replica
+                outstanding[it] = _Outstanding(
+                    inputs=inputs, base_replica=replica, dispatched_at=self.sim.now
+                )
+                self._dispatch(replica_hosts[replica], dep_ids[replica], it, inputs)
+            else:
+                # Chain: everything enters at stage 0 and flows peer-to-peer.
+                self._dispatch(replica_hosts[0], dep_ids[0], it, inputs)
+
+        # -- churn recovery (parallel farms only) -----------------------------
+        stop_retry = {"done": False}
+        redispatch_count = {"n": 0}
+        if group.policy == "parallel":
+            self.sim.process(
+                self._retry_loop(
+                    outstanding, dep_ids, replica_hosts, stop_retry, redispatch_count
+                ),
+                name="retry-monitor",
+            )
+
+        # -- collect results in iteration order and feed downstream ------------
+        group_results: list[list[Any]] = []
+        for it in range(iterations):
+            outputs = yield self._result_events[it]
+            outstanding.pop(it, None)
+            external = dict(cross_vals[it])
+            for c in part.from_group:
+                external[(c.dst, c.dst_node)] = outputs[c.src_node]
+            engine_b.step(external)
+            group_results.append(outputs)
+            self._notify("iteration-complete", iteration=it)
+        stop_retry["done"] = True
+        self._result_events = {}
+        self._active_dispatch = None
+
+        self._notify("run-finished", makespan=self.sim.now - start)
+        return RunReport(
+            iterations=iterations,
+            makespan=self.sim.now - start,
+            deploy_time=deploy_time,
+            group_results=group_results,
+            probe_values={p.task: list(p.values) for p in attached},
+            placements=dict(placements),
+            redispatches=redispatch_count["n"],
+            policy=group.policy,
+            messages_sent=net.sent - net_before[0],
+            bytes_sent=net.bytes_sent - net_before[1],
+            messages_dropped=(net.dropped_offline + net.dropped_loss) - net_before[2],
+        )
+
+    # -- local fallback -------------------------------------------------------------
+    def _run_local(self, graph, iterations, probes) -> RunReport:
+        engine = LocalEngine(graph)
+        self.last_upstream = engine
+        self.last_downstream = engine
+        attached = self._attach_probes(probes, engine)
+        engine.run(iterations)
+        return RunReport(
+            iterations=iterations,
+            makespan=0.0,
+            deploy_time=0.0,
+            probe_values={p.task: list(p.values) for p in attached},
+            policy="none",
+        )
+
+    def _attach_probes(self, probes, *engines: LocalEngine) -> list[Probe]:
+        attached = []
+        for name in probes:
+            for engine in engines:
+                try:
+                    attached.append(engine.attach_probe(name))
+                    break
+                except Exception:
+                    continue
+            else:
+                raise SchedulingError(f"probe target {name!r} not found in any zone")
+        return attached
+
+    # -- deployment ---------------------------------------------------------------------
+    def _deploy_parallel(self, group: GroupTask, workers: list[str]):
+        """Replicate the whole group on every worker."""
+        xml = graph_to_string(group.graph)
+        specs = []
+        for worker in workers:
+            dep_id = f"dep-{next(_dep_ids)}"
+            specs.append(
+                (
+                    worker,
+                    DeploymentSpec(
+                        deployment_id=dep_id,
+                        controller=self.peer.peer_id,
+                        xml=xml,
+                        external_inputs=tuple(group.input_map),
+                        output_spec=tuple(group.output_map),
+                        forward=None,
+                    ),
+                )
+            )
+        yield from self._deploy_all(specs)
+        return {spec.deployment_id: worker for worker, spec in specs}
+
+    def _deploy_chain(self, group: GroupTask, workers: list[str]):
+        """Place each unit of the group on its own peer, piped in order."""
+        order = group.graph.topological_order()
+        self._check_linear_chain(group, order)
+        dep_ids = [f"dep-{next(_dep_ids)}" for _ in order]
+        specs = []
+        for i, task_name in enumerate(order):
+            task = group.graph.task(task_name)
+            stage = TaskGraph(name=f"{group.name}/{task_name}", registry=group.graph.registry)
+            stage.add_task(task_name, task.unit_name, **task.params)
+            external_inputs = tuple((task_name, n) for n in range(task.num_inputs))
+            if i + 1 < len(order):
+                nxt = group.graph.task(order[i + 1])
+                conn = [
+                    c
+                    for c in group.graph.connections
+                    if c.src == task_name and c.dst == order[i + 1]
+                ][0]
+                output_spec = ((task_name, conn.src_node),)
+                forward = (workers[(i + 1) % len(workers)], dep_ids[i + 1])
+                del nxt
+            else:
+                output_spec = tuple(group.output_map)
+                forward = None
+            specs.append(
+                (
+                    workers[i % len(workers)],
+                    DeploymentSpec(
+                        deployment_id=dep_ids[i],
+                        controller=self.peer.peer_id,
+                        xml=graph_to_string(stage),
+                        external_inputs=external_inputs,
+                        output_spec=output_spec,
+                        forward=forward,
+                    ),
+                )
+            )
+        yield from self._deploy_all(specs)
+        # Remember the chain for later stage migration.
+        self._last_chain = [(worker, spec) for worker, spec in specs]
+        # Placements keyed in stage order; stage 0 receives the data.
+        return {spec.deployment_id: worker for worker, spec in specs}
+
+    def _check_linear_chain(self, group: GroupTask, order: list[str]) -> None:
+        for name in order:
+            if len(group.graph.out_connections(name)) > 1 or len(
+                group.graph.in_connections(name)
+            ) > 1:
+                raise SchedulingError(
+                    f"p2p policy requires a linear chain; task {name!r} in group "
+                    f"{group.name!r} has fan-in/fan-out"
+                )
+        for a, b in zip(order, order[1:]):
+            if not any(c.src == a and c.dst == b for c in group.graph.connections):
+                raise SchedulingError(
+                    f"p2p policy requires a connected chain; {a!r} and {b!r} "
+                    "are not linked"
+                )
+
+    def _deploy_all(self, specs, max_attempts: int = 3):
+        """Deploy with retries: lost deploys/acks are re-sent, not fatal.
+
+        Workers treat duplicate deploys idempotently (re-ack), so a retry
+        after a lost ack is safe.
+        """
+        acks = {}
+        for worker, spec in specs:
+            ack = self.sim.event()
+            self._ack_events[spec.deployment_id] = ack
+            acks[spec.deployment_id] = ack
+        pending = list(specs)
+        per_attempt = self.deploy_timeout / max_attempts
+        for _attempt in range(max_attempts):
+            for worker, spec in pending:
+                self.peer.send(
+                    worker, "triana-deploy", payload=spec, size_bytes=len(spec.xml)
+                )
+            deadline = self.sim.timeout(per_attempt)
+            waiting = self.sim.all_of([acks[s.deployment_id] for _w, s in pending])
+            yield self.sim.any_of([waiting, deadline])
+            pending = [
+                (w, s) for w, s in pending
+                if not acks[s.deployment_id].triggered
+            ]
+            if not pending:
+                break
+        if pending:
+            missing = [s.deployment_id for _w, s in pending]
+            raise DeploymentError(
+                f"deployment timed out after {self.deploy_timeout}s "
+                f"({max_attempts} attempts); unacked: {missing}"
+            )
+        # Surface failure acks (sandbox denial etc.) by touching .value.
+        for _w, spec in specs:
+            ack = self._ack_events.pop(spec.deployment_id, None)
+            if ack is not None and ack.triggered:
+                _ = ack.value  # raises DeploymentError on failure acks
+
+    # -- chain migration -----------------------------------------------------------------
+    def migrate_stage(
+        self, stage_index: int, new_worker: str, settle: float = 2.0
+    ) -> Event:
+        """Move one stage of the last-deployed p2p chain to another peer.
+
+        The paper (Case 2): "A check-pointing mechanism may also be
+        employed to migrate computation if necessary."  Protocol:
+
+        1. deploy a *paused* copy of the stage on the new peer;
+        2. rewire the predecessor stage to the new home (fresh data now
+           buffers there);
+        3. wait ``settle`` for in-flight messages to land;
+        4. drain the old deployment (unit checkpoints + queued work; the
+           old peer leaves a tombstone that forwards stragglers);
+        5. resume the new deployment with the migrated state, leftovers
+           merged in iteration order.
+
+        Returns a process event yielding the new deployment id.
+        """
+        if not self._last_chain:
+            raise MigrationError("no p2p chain has been deployed")
+        if not 0 <= stage_index < len(self._last_chain):
+            raise MigrationError(
+                f"stage {stage_index} out of range 0..{len(self._last_chain) - 1}"
+            )
+        return self.sim.process(
+            self._migrate_proc(stage_index, new_worker, settle),
+            name=f"migrate-stage-{stage_index}",
+        )
+
+    def _migrate_proc(self, stage_index: int, new_worker: str, settle: float):
+        old_worker, old_spec = self._last_chain[stage_index]
+        new_dep_id = f"dep-{next(_dep_ids)}"
+        new_spec = DeploymentSpec(
+            deployment_id=new_dep_id,
+            controller=self.peer.peer_id,
+            xml=old_spec.xml,
+            external_inputs=old_spec.external_inputs,
+            output_spec=old_spec.output_spec,
+            forward=old_spec.forward,
+            paused=True,
+        )
+        yield from self._deploy_all([(new_worker, new_spec)])
+
+        if stage_index > 0:
+            pred_worker, pred_spec = self._last_chain[stage_index - 1]
+            self.peer.send(
+                pred_worker,
+                "triana-rewire",
+                payload=(pred_spec.deployment_id, (new_worker, new_dep_id)),
+                size_bytes=96,
+            )
+        yield self.sim.timeout(settle)
+
+        drained = self.sim.event()
+        self._drain_events[old_spec.deployment_id] = drained
+        self.peer.send(
+            old_worker,
+            "triana-drain",
+            payload=(self.peer.peer_id, old_spec.deployment_id, (new_worker, new_dep_id)),
+            size_bytes=96,
+        )
+        state, leftovers = yield drained
+        self._drain_events.pop(old_spec.deployment_id, None)
+
+        self.peer.send(
+            new_worker,
+            "triana-resume",
+            payload=(new_dep_id, state, leftovers),
+            size_bytes=1024,
+        )
+        self._last_chain[stage_index] = (new_worker, new_spec)
+        return new_dep_id
+
+    # -- dispatch & retry --------------------------------------------------------------
+    def _dispatch(self, worker: str, deployment_id: str, iteration: int, inputs) -> None:
+        size = sum(
+            v.payload_nbytes() if hasattr(v, "payload_nbytes") else 64 for v in inputs
+        ) + 64
+        self.peer.send(
+            worker, "group-exec", payload=(deployment_id, iteration, inputs), size_bytes=size
+        )
+
+    def _retry_loop(self, outstanding, dep_ids, replica_hosts, stop, counter):
+        while not stop["done"]:
+            yield self.sim.timeout(self.retry_interval)
+            now = self.sim.now
+            for it, rec in list(outstanding.items()):
+                ev = self._result_events.get(it)
+                if ev is None or ev.triggered:
+                    outstanding.pop(it, None)
+                    continue
+                if now - rec.dispatched_at < self.retry_timeout:
+                    continue
+                rec.attempts += 1
+                # Prefer replicas that are currently online.
+                k = len(dep_ids)
+                for offset in range(1, k + 1):
+                    idx = (rec.base_replica + rec.attempts + offset - 1) % k
+                    if self.peer.network.is_online(replica_hosts[idx]):
+                        break
+                else:
+                    idx = (rec.base_replica + rec.attempts) % k
+                rec.dispatched_at = now
+                counter["n"] += 1
+                self._notify("redispatch", iteration=it, worker=replica_hosts[idx])
+                self._dispatch(replica_hosts[idx], dep_ids[idx], it, rec.inputs)

@@ -1,0 +1,144 @@
+"""Progress monitoring — the disconnected-UI requirement of §3.2.
+
+"the Triana implementation disconnects the user interface from the
+Triana engine.  Communication from the user interface is via a defined
+API to the Triana engine that can be accessed by other views of the
+Triana network. ... users may want a different view when utilising a WAP
+enabled mobile phones or PDA device.  Furthermore, users should be able
+to obtain progress of their running network via the internet using a
+standard Web browser."
+
+The controller publishes structured progress events; any number of
+*views* subscribe through one API.  Two reference views are provided:
+:class:`TextProgressView` (the browser-style page) and
+:class:`WapProgressView` (a line-constrained small-device view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ProgressEvent",
+    "ProgressMonitor",
+    "TextProgressView",
+    "WapProgressView",
+]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One structured progress notification."""
+
+    time: float
+    kind: str
+    data: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def info(self) -> dict[str, Any]:
+        return dict(self.data)
+
+
+class ProgressMonitor:
+    """Base subscriber: records every event; subclasses render views."""
+
+    def __init__(self):
+        self.events: list[ProgressEvent] = []
+
+    def notify(self, event: ProgressEvent) -> None:
+        self.events.append(event)
+        self.render(event)
+
+    def render(self, event: ProgressEvent) -> None:
+        """View-specific hook; the base monitor only records."""
+
+    def of_kind(self, kind: str) -> list[ProgressEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+@dataclass
+class _RunState:
+    iterations_total: int = 0
+    iterations_done: int = 0
+    deployments: int = 0
+    redispatches: int = 0
+    finished: bool = False
+
+
+class TextProgressView(ProgressMonitor):
+    """Browser-style progress page: full lines, rendered on demand."""
+
+    def __init__(self):
+        super().__init__()
+        self.state = _RunState()
+        self.lines: list[str] = []
+
+    def render(self, event: ProgressEvent) -> None:
+        info = event.info
+        if event.kind == "run-started":
+            self.state = _RunState(iterations_total=info.get("iterations", 0))
+            self.lines.append(
+                f"[t={event.time:.2f}] run started: {info.get('graph')} "
+                f"({info.get('iterations')} iterations, policy {info.get('policy')})"
+            )
+        elif event.kind == "deployed":
+            self.state.deployments += 1
+            self.lines.append(
+                f"[t={event.time:.2f}] deployed {info.get('deployment')} "
+                f"on {info.get('worker')}"
+            )
+        elif event.kind == "iteration-complete":
+            self.state.iterations_done += 1
+            self.lines.append(
+                f"[t={event.time:.2f}] iteration {info.get('iteration')} complete "
+                f"({self.state.iterations_done}/{self.state.iterations_total})"
+            )
+        elif event.kind == "redispatch":
+            self.state.redispatches += 1
+            self.lines.append(
+                f"[t={event.time:.2f}] re-dispatched iteration "
+                f"{info.get('iteration')} to {info.get('worker')} (churn)"
+            )
+        elif event.kind == "run-finished":
+            self.state.finished = True
+            self.lines.append(
+                f"[t={event.time:.2f}] run finished: makespan "
+                f"{info.get('makespan', 0.0):.2f}s"
+            )
+
+    def page(self) -> str:
+        """The full progress page a browser would fetch."""
+        done, total = self.state.iterations_done, self.state.iterations_total
+        pct = 100.0 * done / total if total else 0.0
+        header = (
+            f"Triana network progress — {done}/{total} iterations ({pct:.0f}%), "
+            f"{self.state.deployments} deployments, "
+            f"{self.state.redispatches} re-dispatches"
+        )
+        return "\n".join([header, "-" * len(header), *self.lines])
+
+
+class WapProgressView(ProgressMonitor):
+    """Small-device view: one short status string, hard width cap."""
+
+    MAX_CHARS = 40
+
+    def __init__(self):
+        super().__init__()
+        self.status = "idle"
+        self._total = 0
+        self._done = 0
+
+    def render(self, event: ProgressEvent) -> None:
+        if event.kind == "run-started":
+            self._total = event.info.get("iterations", 0)
+            self._done = 0
+            self.status = f"run 0/{self._total}"
+        elif event.kind == "iteration-complete":
+            self._done += 1
+            self.status = f"run {self._done}/{self._total}"
+        elif event.kind == "run-finished":
+            self.status = f"done {self._done}/{self._total}"
+        if len(self.status) > self.MAX_CHARS:  # pragma: no cover - safety
+            self.status = self.status[: self.MAX_CHARS]

@@ -1,0 +1,126 @@
+"""Partitioning a task graph around its distributed group.
+
+"In terms of our workflow example we could execute the GroupTask on a
+remote Triana service, with the data being automatically sent from the
+Wave to the Gaussian and returned from the FFT to the Grapher."
+
+Given a graph with one policy-carrying group, this module splits it into
+
+* the **upstream** zone — every task the group does not depend on being
+  finished first runs locally at the controller (the Wave in Fig. 1);
+* the **group** — shipped to remote peers per its distribution policy;
+* the **downstream** zone — strict descendants of the group, run locally
+  once results return (the Grapher).
+
+Connections are classified so the controller can route payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..core.taskgraph import Connection, GroupTask, TaskGraph
+from .errors import SchedulingError
+
+__all__ = ["GroupPartition", "partition_for_group", "find_distributable_group"]
+
+
+@dataclass
+class GroupPartition:
+    """The three zones plus classified boundary connections."""
+
+    group: GroupTask
+    upstream: TaskGraph
+    downstream: TaskGraph
+    #: upstream → group, ordered by group external input node
+    to_group: list[Connection] = field(default_factory=list)
+    #: group → downstream
+    from_group: list[Connection] = field(default_factory=list)
+    #: upstream → downstream edges that bypass the group
+    cross: list[Connection] = field(default_factory=list)
+
+    def downstream_external_inputs(self) -> list[tuple[str, int]]:
+        """The downstream engine's externally-fed input nodes."""
+        return sorted(
+            {(c.dst, c.dst_node) for c in self.from_group}
+            | {(c.dst, c.dst_node) for c in self.cross}
+        )
+
+
+def find_distributable_group(graph: TaskGraph) -> GroupTask | None:
+    """The (single) group carrying a distribution policy, or None.
+
+    The reference controller distributes one group per application run —
+    the paper's examples all have this shape.  Multiple policy groups are
+    rejected rather than silently half-distributed.
+    """
+    policy_groups = [g for g in graph.groups() if g.policy != "none"]
+    if not policy_groups:
+        return None
+    if len(policy_groups) > 1:
+        raise SchedulingError(
+            f"graph has {len(policy_groups)} distributable groups "
+            f"({[g.name for g in policy_groups]}); the controller handles one"
+        )
+    return policy_groups[0]
+
+
+def partition_for_group(graph: TaskGraph, group_name: str) -> GroupPartition:
+    """Split ``graph`` into upstream / group / downstream zones."""
+    group = graph.task(group_name)
+    if not isinstance(group, GroupTask):
+        raise SchedulingError(f"{group_name!r} is not a group")
+
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(graph.tasks)
+    for c in graph.connections:
+        digraph.add_edge(c.src, c.dst)
+    descendants = nx.descendants(digraph, group_name)
+
+    upstream_names = set(graph.tasks) - descendants - {group_name}
+    downstream_names = set(descendants)
+
+    upstream = TaskGraph(name=f"{graph.name}/upstream", registry=graph.registry)
+    downstream = TaskGraph(name=f"{graph.name}/downstream", registry=graph.registry)
+    for name in sorted(upstream_names):
+        t = graph.task(name)
+        if isinstance(t, GroupTask):
+            upstream.add_group(name, t.graph.copy(), t.input_map, t.output_map, "none")
+        else:
+            upstream.add_task(name, t.unit_name, **t.params)
+    for name in sorted(downstream_names):
+        t = graph.task(name)
+        if isinstance(t, GroupTask):
+            downstream.add_group(name, t.graph.copy(), t.input_map, t.output_map, "none")
+        else:
+            downstream.add_task(name, t.unit_name, **t.params)
+
+    part = GroupPartition(group=group, upstream=upstream, downstream=downstream)
+    for c in graph.connections:
+        s_up, d_up = c.src in upstream_names, c.dst in upstream_names
+        s_dn, d_dn = c.src in downstream_names, c.dst in downstream_names
+        if c.dst == group_name:
+            if not s_up:
+                raise SchedulingError(
+                    f"group input fed from downstream zone: {c.label()}"
+                )
+            part.to_group.append(c)
+        elif c.src == group_name:
+            part.from_group.append(c)
+        elif s_up and d_up:
+            upstream.connect(c.src, c.src_node, c.dst, c.dst_node)
+        elif s_dn and d_dn:
+            downstream.connect(c.src, c.src_node, c.dst, c.dst_node)
+        elif s_up and d_dn:
+            part.cross.append(c)
+        else:  # pragma: no cover - downstream→upstream would be a cycle
+            raise SchedulingError(f"unclassifiable connection {c.label()}")
+    part.to_group.sort(key=lambda c: c.dst_node)
+    if len(part.to_group) != group.num_inputs:
+        raise SchedulingError(
+            f"group {group_name!r} has {group.num_inputs} inputs but "
+            f"{len(part.to_group)} are fed"
+        )
+    return part

@@ -1,0 +1,351 @@
+"""The Triana service — the server component hosted on every peer.
+
+"The Triana Service is comprised of three components: a client, a server
+and a command process server."  This module is the **server**: it accepts
+deployed sub-graphs, fetches the required modules on demand, authorises
+them against the host sandbox, executes iterations as data arrives, and
+pipes results onward — either back to the controller or directly to the
+next peer in a pipelined chain ("pipes data onto another machine").
+
+Execution time is *modelled*: each iteration's unit flops are divided by
+the host CPU speed, so grid-scale scenarios simulate in milliseconds
+while the payloads themselves are computed for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional  # noqa: F401
+
+from ..core.engine import LocalEngine
+from ..core.registry import UnitRegistry
+from ..core.xml_io import graph_from_string, unit_names_in_xml
+from ..mobility.cache import ModuleCache
+from ..mobility.errors import MobilityError, SandboxViolation
+from ..mobility.sandbox import SandboxPolicy
+from ..p2p.advertisement import ADV_SERVICE, Advertisement
+from ..p2p.network import Message
+from ..p2p.peer import Peer
+from ..simkernel import Simulator, Store
+
+__all__ = ["DeploymentSpec", "TrianaService", "WORKER_SERVICE_KIND"]
+
+WORKER_SERVICE_KIND = "triana-worker"
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Everything a worker needs to host one sub-graph.
+
+    Attributes
+    ----------
+    deployment_id:
+        Unique id assigned by the controller.
+    controller:
+        Peer id results/acks go back to.
+    xml:
+        The sub-graph as task-graph XML (the only thing shipped — code
+        follows by on-demand download).
+    external_inputs:
+        Ordered ``(task, node)`` boundary inputs; ``group-exec`` payloads
+        carry one value per entry, in order.
+    output_spec:
+        Ordered ``(task, node)`` boundary outputs collected per iteration.
+    forward:
+        ``None`` to send results to the controller, or
+        ``(peer_id, deployment_id)`` to pipe them into the next stage.
+    paused:
+        Deploy in a buffering state: arriving iterations accumulate until
+        a ``triana-resume`` message delivers (possibly migrated) unit
+        state and any drained leftovers.  Used by chain migration.
+    """
+
+    deployment_id: str
+    controller: str
+    xml: str
+    external_inputs: tuple[tuple[str, int], ...]
+    output_spec: tuple[tuple[str, int], ...]
+    forward: Optional[tuple[str, str]] = None
+    paused: bool = False
+
+
+@dataclass
+class _Deployment:
+    spec: DeploymentSpec
+    engine: LocalEngine
+    queue: Store
+    iterations_done: int = 0
+    paused: bool = False
+    backlog: list = field(default_factory=list)
+    forward_override: Optional[tuple[str, str]] = None
+
+
+@dataclass
+class ServiceStats:
+    deployments: int = 0
+    deploy_failures: int = 0
+    iterations: int = 0
+    busy_seconds: float = 0.0
+    results_sent: int = 0
+
+
+class TrianaService:
+    """Worker-side Triana service daemon ("point-and-click" install)."""
+
+    def __init__(
+        self,
+        peer: Peer,
+        repository_host: str,
+        sandbox: Optional[SandboxPolicy] = None,
+        cache_capacity: int = 10_000_000,
+        cache_policy: str = "on_demand",
+        efficiency: float = 1.0,
+    ):
+        self.peer = peer
+        self.sim: Simulator = peer.sim
+        self.sandbox = sandbox or SandboxPolicy()
+        self.cache = ModuleCache(
+            peer, repository_host, capacity_bytes=cache_capacity, policy=cache_policy
+        )
+        self.efficiency = efficiency
+        self.local_registry = UnitRegistry()
+        self.deployments: dict[str, _Deployment] = {}
+        self.stats = ServiceStats()
+        self._tombstones: dict[str, tuple[str, str]] = {}
+        peer.on("triana-deploy", self._on_deploy)
+        peer.on("group-exec", self._on_exec)
+        peer.on("triana-checkpoint", self._on_checkpoint)
+        peer.on("triana-rewire", self._on_rewire)
+        peer.on("triana-drain", self._on_drain)
+        peer.on("triana-resume", self._on_resume)
+        peer.on("triana-reparam", self._on_reparam)
+
+    # -- advertisement -----------------------------------------------------------
+    def advertisement(self) -> Advertisement:
+        p = self.peer.profile
+        return Advertisement.make(
+            ADV_SERVICE,
+            f"triana:{self.peer.peer_id}",
+            self.peer.peer_id,
+            attrs={
+                "kind": WORKER_SERVICE_KIND,
+                "host": self.peer.peer_id,
+                "cpu_flops": p.cpu_flops,
+                "free_ram": p.ram_bytes,
+            },
+        )
+
+    # -- deployment --------------------------------------------------------------
+    def _on_deploy(self, message: Message) -> None:
+        spec: DeploymentSpec = message.payload
+        if spec.deployment_id in self.deployments:
+            # Duplicate deploy (controller retry after a lost ack): re-ack.
+            self.peer.send(
+                spec.controller,
+                "deploy-ack",
+                payload=(spec.deployment_id, None),
+                size_bytes=64,
+            )
+            return
+        self.sim.process(self._deploy_proc(spec), name=f"deploy/{spec.deployment_id}")
+
+    def _deploy_proc(self, spec: DeploymentSpec):
+        """Fetch modules (with retry), authorise, build the engine, ack."""
+        try:
+            required = sorted(unit_names_in_xml(spec.xml))
+            for unit_name in required:
+                pkg = None
+                for attempt in range(3):
+                    try:
+                        pkg = yield self.cache.ensure(unit_name)
+                        break
+                    except MobilityError:
+                        if attempt == 2:
+                            raise
+                if unit_name not in self.local_registry:
+                    self.local_registry.register(pkg.cls)
+                self.sandbox.authorise(pkg.cls, version=pkg.version)
+            graph = graph_from_string(spec.xml, registry=self.local_registry)
+            engine = LocalEngine(graph, external_inputs=spec.external_inputs)
+            # "Users also would have the option to specify how much RAM the
+            # applications could use" — cap the deployment's working set.
+            self.sandbox.check_ram(
+                sum(type(u).RAM_ESTIMATE for u in engine.units.values())
+            )
+        except (MobilityError, SandboxViolation, Exception) as exc:
+            self.stats.deploy_failures += 1
+            self.peer.send(
+                spec.controller,
+                "deploy-ack",
+                payload=(spec.deployment_id, f"{type(exc).__name__}: {exc}"),
+                size_bytes=128,
+            )
+            return
+        dep = _Deployment(
+            spec=spec, engine=engine, queue=Store(self.sim), paused=spec.paused
+        )
+        self.deployments[spec.deployment_id] = dep
+        self.stats.deployments += 1
+        self.sim.process(self._exec_loop(dep), name=f"exec/{spec.deployment_id}")
+        self.peer.send(
+            spec.controller, "deploy-ack", payload=(spec.deployment_id, None), size_bytes=64
+        )
+
+    # -- execution ------------------------------------------------------------------
+    def _on_exec(self, message: Message) -> None:
+        deployment_id, iteration, inputs = message.payload
+        dep = self.deployments.get(deployment_id)
+        if dep is None:
+            # Migrated away?  A tombstone forwards stragglers to the new home.
+            target = self._tombstones.get(deployment_id)
+            if target is not None and self.peer.online:
+                new_peer, new_dep = target
+                self.peer.send(
+                    new_peer,
+                    "group-exec",
+                    payload=(new_dep, iteration, inputs),
+                    size_bytes=message.size_bytes,
+                )
+            return
+        if dep.paused:
+            dep.backlog.append((iteration, inputs))
+        else:
+            dep.queue.put((iteration, inputs))
+
+    def _exec_loop(self, dep: _Deployment):
+        """Serial execution of queued iterations at modelled CPU speed."""
+        speed = self.peer.profile.cpu_flops * self.efficiency
+        while True:
+            iteration, inputs = yield dep.queue.get()
+            external = {
+                key: value
+                for key, value in zip(dep.spec.external_inputs, inputs)
+            }
+            flops_before = dep.engine.stats.modelled_flops
+            outputs_map = dep.engine.step(external)
+            duration = (dep.engine.stats.modelled_flops - flops_before) / speed
+            yield self.sim.timeout(duration)
+            self.stats.busy_seconds += duration
+            self.stats.iterations += 1
+            dep.iterations_done += 1
+            outputs = [outputs_map[t][n] for t, n in dep.spec.output_spec]
+            self._ship(dep, iteration, outputs)
+
+    def _ship(self, dep: _Deployment, iteration: int, outputs: list[Any]) -> None:
+        size = sum(
+            v.payload_nbytes() if hasattr(v, "payload_nbytes") else 64 for v in outputs
+        )
+        if not self.peer.online:
+            return  # churned away mid-compute; controller's timeout recovers
+        self.stats.results_sent += 1
+        forward = dep.forward_override or dep.spec.forward
+        if forward is None:
+            self.peer.send(
+                dep.spec.controller,
+                "group-result",
+                payload=(dep.spec.deployment_id, iteration, outputs),
+                size_bytes=size,
+            )
+        else:
+            next_peer, next_dep = forward
+            self.peer.send(
+                next_peer,
+                "group-exec",
+                payload=(next_dep, iteration, outputs),
+                size_bytes=size,
+            )
+
+    # -- checkpoint & migration protocol ------------------------------------------------
+    def _on_checkpoint(self, message: Message) -> None:
+        requester, deployment_id = message.payload
+        dep = self.deployments.get(deployment_id)
+        state = dep.engine.checkpoint() if dep is not None else None
+        self.peer.send(
+            requester,
+            "checkpoint-reply",
+            payload=(deployment_id, state),
+            size_bytes=1024,
+        )
+
+    def _on_reparam(self, message: Message) -> None:
+        """Update unit parameters of a live deployment.
+
+        The Case-1 view change: "messages are then sent to all the
+        distributed servers so that the new data slice through each time
+        frame can be calculated and returned" — no re-deploy, no code
+        movement, just new parameters for already-running units.
+        """
+        requester, deployment_id, task_name, params = message.payload
+        dep = self.deployments.get(deployment_id)
+        error = None
+        if dep is None:
+            error = f"no deployment {deployment_id!r}"
+        elif task_name not in dep.engine.units:
+            error = (
+                f"no task {task_name!r} in deployment "
+                f"(have {sorted(dep.engine.units)})"
+            )
+        else:
+            try:
+                unit = dep.engine.units[task_name]
+                for pname, pvalue in params.items():
+                    unit.set_param(pname, pvalue)
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+        self.peer.send(
+            requester,
+            "reparam-ack",
+            payload=(deployment_id, task_name, error),
+            size_bytes=96,
+        )
+
+    def _on_rewire(self, message: Message) -> None:
+        """Re-point a deployment's forwarding target (chain migration)."""
+        deployment_id, new_forward = message.payload
+        dep = self.deployments.get(deployment_id)
+        if dep is not None:
+            dep.forward_override = tuple(new_forward) if new_forward else None
+
+    def _on_drain(self, message: Message) -> None:
+        """Hand over a deployment: checkpoint + queued work, leave a tombstone.
+
+        The exec process may be left suspended on the emptied queue; it is
+        unreachable afterwards and carries no simulation events.
+        """
+        requester, deployment_id, new_home = message.payload
+        dep = self.deployments.pop(deployment_id, None)
+        if dep is None:
+            self.peer.send(
+                requester, "drain-reply", payload=(deployment_id, None, []), size_bytes=64
+            )
+            return
+        if new_home is not None:
+            self._tombstones[deployment_id] = tuple(new_home)
+        leftovers = list(dep.queue.items) + list(dep.backlog)
+        dep.queue.items.clear()
+        dep.backlog.clear()
+        state = dep.engine.checkpoint()
+        size = 1024 + sum(
+            sum(v.payload_nbytes() if hasattr(v, "payload_nbytes") else 64 for v in item[1])
+            for item in leftovers
+        )
+        self.peer.send(
+            requester,
+            "drain-reply",
+            payload=(deployment_id, state, leftovers),
+            size_bytes=size,
+        )
+
+    def _on_resume(self, message: Message) -> None:
+        """Receive migrated state + leftovers and start executing."""
+        deployment_id, state, leftovers = message.payload
+        dep = self.deployments.get(deployment_id)
+        if dep is None:
+            return
+        if state:
+            dep.engine.restore(state)
+        merged = sorted(list(leftovers) + dep.backlog, key=lambda item: item[0])
+        dep.backlog.clear()
+        dep.paused = False
+        for item in merged:
+            dep.queue.put(item)

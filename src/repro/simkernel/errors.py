@@ -1,0 +1,31 @@
+"""Exception hierarchy for the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SimTimeError(SimError):
+    """An event was scheduled in the past or with a negative delay."""
+
+
+class ProcessError(SimError):
+    """A simulated process misbehaved (bad yield, interaction after exit)."""
+
+
+class EventStateError(SimError):
+    """An event was triggered twice or waited on after consumption."""
+
+
+class Interrupt(SimError):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.simkernel.sim.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause

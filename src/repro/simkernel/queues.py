@@ -1,0 +1,127 @@
+"""Waitable queues and capacity resources for simulated processes.
+
+:class:`Store` is an unbounded-or-bounded FIFO of arbitrary items;
+:class:`Resource` models a pool of identical slots (e.g. CPU cores of a
+batch node).  Both hand out :class:`~repro.simkernel.sim.Event` objects so
+processes can ``yield`` on them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .errors import ProcessError
+from .sim import Event, Simulator
+
+__all__ = ["Store", "Resource"]
+
+
+class Store:
+    """A FIFO store that processes can block on.
+
+    ``put`` succeeds immediately unless the store is full (bounded
+    ``capacity``); ``get`` succeeds immediately if an item is available,
+    otherwise when the next ``put`` arrives.  Fairness is strict FIFO for
+    both sides, which keeps simulations deterministic.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("Store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Return an event that succeeds once ``item`` is stored."""
+        ev = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Return an event that succeeds with the next item."""
+        ev = Event(self.sim)
+        if self.items:
+            item = self.items.popleft()
+            ev.succeed(item)
+            self._drain_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _drain_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            put_ev, item = self._putters.popleft()
+            self.items.append(item)
+            put_ev.succeed(None)
+
+
+class Resource:
+    """``capacity`` identical slots; processes request and release them.
+
+    Typical use inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use: set[Event] = set()
+        self._waiting: deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._in_use)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a slot is granted."""
+        ev = Event(self.sim)
+        if len(self._in_use) < self.capacity:
+            self._in_use.add(ev)
+            ev.succeed(ev)
+        else:
+            self._waiting.append(ev)
+        return ev
+
+    def release(self, request: Event) -> None:
+        """Release a previously granted slot."""
+        if request in self._in_use:
+            self._in_use.remove(request)
+        elif request in self._waiting:
+            self._waiting.remove(request)
+            return
+        else:
+            raise ProcessError("release() of a request that holds no slot")
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self._in_use.add(nxt)
+            nxt.succeed(nxt)

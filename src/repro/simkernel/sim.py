@@ -1,0 +1,387 @@
+"""A deterministic discrete-event simulation kernel.
+
+This module is the foundation every simulated subsystem (the P2P network,
+volunteer churn, batch queues) is built on.  It provides:
+
+* :class:`Simulator` — the event loop with a floating-point clock,
+* :class:`Event` — one-shot triggerable events carrying a value or error,
+* :class:`Timeout` — an event that fires after a simulated delay,
+* :class:`Process` — generator-based coroutines that ``yield`` events,
+* :class:`AnyOf` / :class:`AllOf` — composite wait conditions.
+
+The design follows the classic SimPy shape but is self-contained (no
+third-party dependency) and strictly deterministic: simultaneous events
+fire in schedule order, ties broken by a monotone sequence number.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim, log):
+...     yield sim.timeout(5.0)
+...     log.append(sim.now)
+>>> log = []
+>>> _ = sim.process(hello(sim, log))
+>>> sim.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any, Callable, Optional
+
+from .errors import EventStateError, Interrupt, ProcessError, SimTimeError
+from .rng import RngRegistry
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+]
+
+# Event lifecycle states.
+_PENDING = 0  # not yet triggered
+_TRIGGERED = 1  # value set, callbacks scheduled but not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    triggers it exactly once, after which its callbacks run at the current
+    simulation time.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._state = _PENDING
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (or error)."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value, or raise the stored failure."""
+        if not self.triggered:
+            raise EventStateError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise EventStateError(f"{self!r} already triggered")
+        self._value = value
+        self._state = _TRIGGERED
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self.triggered:
+            raise EventStateError(f"{self!r} already triggered")
+        self._exc = exc
+        self._state = _TRIGGERED
+        self.sim._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that succeeds automatically after ``delay`` sim-time units."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimTimeError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._value = value
+        self._state = _TRIGGERED
+        sim._schedule(self, delay=self.delay)
+
+
+class _Initialize(Event):
+    """Internal event used to start a process on the next step."""
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._value = None
+        self._state = _TRIGGERED
+        self.callbacks.append(process._resume)
+        sim._schedule(self)
+
+
+class Process(Event):
+    """A generator-based simulated process.
+
+    The wrapped generator yields :class:`Event` instances; the process
+    suspends until each yielded event triggers, then receives the event's
+    value via ``send`` (or its exception via ``throw``).  The process is
+    itself an event that triggers when the generator returns (value = the
+    ``StopIteration`` value) or raises.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None):
+        if not isinstance(generator, Generator):
+            raise ProcessError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        waiting on an event detaches it from that event.
+        """
+        if self.triggered:
+            raise ProcessError(f"cannot interrupt finished process {self.name!r}")
+        # Detach from whatever we were waiting on so that the original
+        # event's trigger does not also resume us later.
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        interrupt_ev = Event(self.sim)
+        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        try:
+            if event._exc is not None:
+                next_ev = self._generator.throw(event._exc)
+            else:
+                next_ev = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process as a failure.
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(next_ev, Event):
+            err = ProcessError(
+                f"process {self.name!r} yielded {next_ev!r}; processes must "
+                "yield Event instances (e.g. sim.timeout(...))"
+            )
+            self._generator.close()
+            self.fail(err)
+            return
+        if next_ev.sim is not self.sim:
+            self._generator.close()
+            self.fail(ProcessError("yielded event belongs to a different Simulator"))
+            return
+        self._target = next_ev
+        if next_ev.processed:
+            # Already-processed events resume the process on the next step.
+            redo = Event(self.sim)
+            redo.callbacks.append(self._resume)
+            if next_ev._exc is not None:
+                redo.fail(next_ev._exc)
+            else:
+                redo.succeed(next_ev._value)
+        else:
+            next_ev.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise ProcessError("condition mixes events from different simulators")
+        # Events whose callbacks have fired (i.e. actually happened in sim
+        # time).  A Timeout is "triggered" from construction but has not
+        # happened yet, so triggered-ness alone is not a usable signal.
+        self._done: set[Event] = set()
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._observe(ev)
+            else:
+                ev.callbacks.append(self._observe)
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._done.add(event)
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev in self._done}
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* constituent event succeeds (or one fails)."""
+
+    def _satisfied(self) -> bool:
+        return bool(self._done)
+
+
+class AllOf(_Condition):
+    """Triggers when *all* constituent events have succeeded."""
+
+    def _satisfied(self) -> bool:
+        return len(self._done) == len(self.events)
+
+
+class Simulator:
+    """The discrete-event loop: a clock plus an ordered event queue.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the simulator's :class:`RngRegistry`; all stochastic
+        components should draw via :meth:`rng`.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._rngs = RngRegistry(seed)
+        self.events_executed = 0
+
+    # -- randomness ---------------------------------------------------------
+    def rng(self, name: str):
+        """Named deterministic random stream (see :class:`RngRegistry`)."""
+        return self._rngs.stream(name)
+
+    @property
+    def seed(self) -> int:
+        return self._rngs.seed
+
+    # -- event construction --------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event; trigger it with ``succeed``/``fail``."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` units of simulated time from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Start a process from a generator; returns the Process event."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[[], Any]) -> Event:
+        """Run a plain callable at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimTimeError(f"call_at({when}) is in the past (now={self.now})")
+        ev = Timeout(self, when - self.now)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimTimeError(f"negative delay {delay!r}")
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Advance the clock to the next event and run its callbacks."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self.now = when
+        self.events_executed += 1
+        event._run_callbacks()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        ``until`` may be ``None`` (drain), a number (absolute sim time), or
+        an :class:`Event` — in the last case the event's value is returned
+        (its failure re-raised).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise ProcessError(
+                        "simulation queue drained before the awaited event fired"
+                    )
+                self.step()
+            return stop.value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self.now:
+                raise SimTimeError(f"run(until={horizon}) is in the past")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self.now = max(self.now, horizon)
+            return None
+        while self._queue:
+            self.step()
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self.now}, pending={len(self._queue)})"

@@ -1,0 +1,171 @@
+"""Tests for the galaxy-formation scenario (Case 1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.galaxy import (
+    ColumnDensity,
+    DataReader,
+    FrameCollector,
+    build_galaxy_graph,
+    generate_snapshots,
+    register_dataset,
+    sph_column_density,
+)
+from repro.core import LocalEngine, UnitError
+
+
+class TestSnapshots:
+    def test_shapes_and_count(self):
+        frames = generate_snapshots(n_frames=5, n_particles=300, seed=1)
+        assert len(frames) == 5
+        for f in frames:
+            assert len(f) == 300
+            assert f.positions.shape == (300, 3)
+
+    def test_deterministic(self):
+        a = generate_snapshots(n_frames=3, n_particles=100, seed=7)
+        b = generate_snapshots(n_frames=3, n_particles=100, seed=7)
+        np.testing.assert_array_equal(a[2].positions, b[2].positions)
+
+    def test_collapse_over_time(self):
+        frames = generate_snapshots(n_frames=8, n_particles=500, seed=2)
+        r_first = np.linalg.norm(frames[0].positions[:, :2], axis=1).mean()
+        r_last = np.linalg.norm(frames[-1].positions[:, :2], axis=1).mean()
+        assert r_last < r_first
+
+    def test_mass_conserved_across_frames(self):
+        frames = generate_snapshots(n_frames=4, n_particles=200, seed=3)
+        totals = [f.masses.sum() for f in frames]
+        np.testing.assert_allclose(totals, totals[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_snapshots(n_frames=0)
+
+
+class TestSPHRender:
+    def test_flux_roughly_conserved(self):
+        """Kernel scatter deposits (nearly) the total mass onto the grid."""
+        frames = generate_snapshots(n_frames=1, n_particles=400, seed=4)
+        grid = sph_column_density(frames[0], resolution=96, extent=6.0)
+        cell_area = (2 * 6.0 / 96) ** 2
+        assert grid.sum() * cell_area == pytest.approx(frames[0].masses.sum(), rel=0.15)
+
+    def test_centrally_concentrated(self):
+        frames = generate_snapshots(n_frames=1, n_particles=800, seed=5)
+        grid = sph_column_density(frames[0], resolution=64)
+        centre = grid[24:40, 24:40].mean()
+        edge = np.concatenate([grid[:4].ravel(), grid[-4:].ravel()]).mean()
+        assert centre > 10 * edge
+
+    def test_views_differ(self):
+        frames = generate_snapshots(n_frames=2, n_particles=300, seed=6)
+        late = frames[-1]  # flattened disc: xy ≠ xz
+        xy = sph_column_density(late, resolution=32, view="xy")
+        xz = sph_column_density(late, resolution=32, view="xz")
+        assert not np.allclose(xy, xz)
+
+    def test_bad_view_and_resolution(self):
+        frames = generate_snapshots(n_frames=1, n_particles=10, seed=0)
+        with pytest.raises(ValueError):
+            sph_column_density(frames[0], view="qq")
+        with pytest.raises(ValueError):
+            sph_column_density(frames[0], resolution=2)
+
+    def test_nonnegative(self):
+        frames = generate_snapshots(n_frames=1, n_particles=100, seed=8)
+        grid = sph_column_density(frames[0], resolution=32)
+        assert (grid >= 0).all()
+
+
+class TestUnits:
+    def test_data_reader_emits_in_order(self):
+        frames = generate_snapshots(n_frames=3, n_particles=50, seed=9,
+                                    register_as="test-ds-1")
+        reader = DataReader(dataset="test-ds-1")
+        for expected in frames:
+            (got,) = reader.process([])
+            assert got.time == expected.time
+
+    def test_data_reader_exhaustion(self):
+        generate_snapshots(n_frames=1, n_particles=10, seed=0, register_as="test-ds-2")
+        reader = DataReader(dataset="test-ds-2")
+        reader.process([])
+        with pytest.raises(UnitError):
+            reader.process([])
+
+    def test_data_reader_unknown_dataset(self):
+        with pytest.raises(UnitError):
+            DataReader(dataset="nope").process([])
+
+    def test_data_reader_checkpoint(self):
+        generate_snapshots(n_frames=3, n_particles=10, seed=0, register_as="test-ds-3")
+        r1 = DataReader(dataset="test-ds-3")
+        r1.process([])
+        state = r1.checkpoint()
+        r2 = DataReader(dataset="test-ds-3")
+        r2.restore(state)
+        (frame,) = r2.process([])
+        assert frame.time == generate_snapshots(3, 10, 0)[1].time
+
+    def test_column_density_unit(self):
+        frames = generate_snapshots(n_frames=1, n_particles=100, seed=10)
+        (img,) = ColumnDensity(resolution=32).process([frames[0]])
+        assert img.shape == (32, 32)
+
+    def test_column_density_bad_view_is_unit_error(self):
+        frames = generate_snapshots(n_frames=1, n_particles=10, seed=0)
+        with pytest.raises(UnitError):
+            ColumnDensity(view="zz").process([frames[0]])
+
+    def test_frame_collector_animation(self):
+        from repro.core import ImageData
+
+        fc = FrameCollector()
+        for i in range(3):
+            fc.process([ImageData(pixels=np.full((4, 4), float(i)))])
+        anim = fc.animation()
+        assert anim.shape == (3, 4, 4)
+        np.testing.assert_allclose(anim[2], 2.0)
+
+    def test_frame_collector_empty(self):
+        with pytest.raises(UnitError):
+            FrameCollector().animation()
+
+    def test_cost_model_scales_with_particles(self):
+        cd = ColumnDensity()
+        assert cd.estimated_flops(40 * 10_000) > 50 * cd.estimated_flops(40 * 100)
+
+
+class TestLocalPipeline:
+    def test_graph_runs_locally(self):
+        generate_snapshots(n_frames=4, n_particles=120, seed=11,
+                           register_as="test-ds-local")
+        g = build_galaxy_graph("test-ds-local", resolution=24, policy="none")
+        engine = LocalEngine(g)
+        engine.run(iterations=4)
+        collector = engine.units["Collector"]
+        assert collector.animation().shape == (4, 24, 24)
+
+
+class TestDistributedFarm:
+    def test_farm_matches_local_render(self):
+        """Paper's headline: frames rendered remotely, returned in order."""
+        from repro import ConsumerGrid
+
+        generate_snapshots(n_frames=6, n_particles=150, seed=12,
+                           register_as="test-ds-farm")
+        g = build_galaxy_graph("test-ds-farm", resolution=24, policy="parallel")
+        grid = ConsumerGrid(n_workers=3, seed=13)
+        report = grid.run(g, iterations=6)
+        assert len(report.group_results) == 6
+
+        # Reference: local render of the same frames.
+        frames = generate_snapshots(n_frames=6, n_particles=150, seed=12)
+        for it, outputs in enumerate(report.group_results):
+            expected = sph_column_density(frames[it], resolution=24)
+            np.testing.assert_allclose(outputs[0].pixels, expected)
+
+        collector = grid.controller.last_downstream.units["Collector"]
+        assert collector.animation().shape[0] == 6

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.analysis import fig1_grouped
+from repro.cli import FORMATS, load_graph_text, main, sniff_format
+from repro.core import graph_to_petrinet, graph_to_string, graph_to_wsfl
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "fig1.xml"
+    path.write_text(graph_to_string(fig1_grouped()))
+    return str(path)
+
+
+class TestSniffing:
+    def test_sniff_all_formats(self):
+        g = fig1_grouped()
+        assert sniff_format(graph_to_string(g)) == "native"
+        assert sniff_format(graph_to_wsfl(g)) == "wsfl"
+        assert sniff_format(graph_to_petrinet(g)) == "petrinet"
+
+    def test_sniff_unknown(self):
+        from repro.core import SerializationError
+
+        with pytest.raises(SerializationError):
+            sniff_format("<mystery/>")
+
+    def test_load_auto_round_trips(self):
+        g = fig1_grouped()
+        for writer in (graph_to_string, graph_to_wsfl, graph_to_petrinet):
+            g2 = load_graph_text(writer(g))
+            assert sorted(g2.tasks) == sorted(g.tasks)
+
+    def test_load_bad_format_name(self):
+        from repro.core import SerializationError
+
+        with pytest.raises(SerializationError):
+            load_graph_text("<taskgraph/>", fmt="yaml")
+
+
+class TestCommands:
+    def test_units_listing(self, capsys):
+        assert main(["units", "--category", "signal"]) == 0
+        out = capsys.readouterr().out
+        assert "Wave" in out and "AccumStat" in out
+
+    def test_units_search(self, capsys):
+        assert main(["units", "--search", "fft"]) == 0
+        out = capsys.readouterr().out
+        assert "FFT" in out and "Wave" not in out.split("units registered")[1]
+
+    def test_validate(self, graph_file, capsys):
+        assert main(["validate", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "valid" in out and "GroupTask(parallel)" in out
+
+    def test_convert_to_wsfl_and_back(self, graph_file, capsys, tmp_path):
+        assert main(["convert", graph_file, "--to", "wsfl"]) == 0
+        wsfl_text = capsys.readouterr().out
+        assert "flowModel" in wsfl_text
+        wsfl_path = tmp_path / "fig1.wsfl"
+        wsfl_path.write_text(wsfl_text)
+        assert main(["convert", str(wsfl_path), "--to", "petrinet"]) == 0
+        assert "<net" in capsys.readouterr().out
+
+    def test_run_local(self, graph_file, capsys):
+        assert main(["run", graph_file, "-n", "5", "--probe", "Accum"]) == 0
+        out = capsys.readouterr().out
+        assert "local engine" in out
+        assert "probe" in out and "5 values" in out
+
+    def test_run_on_grid(self, graph_file, capsys):
+        assert main(["run", graph_file, "-n", "4", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated grid" in out
+        assert "makespan" in out
+
+    def test_run_on_grid_weighted_dispatch(self, graph_file, capsys):
+        assert main([
+            "run", graph_file, "-n", "4", "--workers", "2",
+            "--dispatch", "weighted",
+        ]) == 0
+
+    def test_missing_file_is_error_2(self, capsys):
+        assert main(["run", "/no/such/file.xml"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_graph_is_error_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text('<taskgraph name="x"><task name="a" unit="Nope"/></taskgraph>')
+        assert main(["validate", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_formats_constant(self):
+        assert FORMATS == ("native", "wsfl", "petrinet")

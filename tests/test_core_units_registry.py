@@ -1,0 +1,190 @@
+"""Tests for the Unit base class and the unit registry."""
+
+import pytest
+
+from repro.core import (
+    ParamSpec,
+    ParameterError,
+    RegistryError,
+    SampleSet,
+    Unit,
+    UnitError,
+    UnitRegistry,
+    global_registry,
+)
+from repro.core.types import AnyType, Spectrum
+
+
+class Doubler(Unit):
+    NUM_INPUTS = 1
+    NUM_OUTPUTS = 1
+    INPUT_TYPES = (SampleSet,)
+    OUTPUT_TYPES = (SampleSet,)
+    PARAMETERS = (
+        ParamSpec("factor", 2.0, "multiplier", lambda v: None),
+    )
+
+    def process(self, inputs):
+        sig = inputs[0]
+        return [SampleSet(data=sig.data * self.get_param("factor"),
+                          sampling_rate=sig.sampling_rate)]
+
+
+class TestUnitBasics:
+    def test_defaults_applied(self):
+        u = Doubler()
+        assert u.get_param("factor") == 2.0
+
+    def test_constructor_params(self):
+        u = Doubler(factor=5.0)
+        assert u.get_param("factor") == 5.0
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ParameterError):
+            Doubler(bogus=1)
+        u = Doubler()
+        with pytest.raises(ParameterError):
+            u.set_param("bogus", 1)
+        with pytest.raises(ParameterError):
+            u.get_param("bogus")
+
+    def test_validator_runs(self):
+        def positive(v):
+            if v <= 0:
+                raise ValueError("must be positive")
+
+        class Strict(Unit):
+            PARAMETERS = (ParamSpec("n", 1, "count", positive),)
+
+            def process(self, inputs):
+                return [inputs[0]]
+
+        with pytest.raises(ParameterError):
+            Strict(n=-1)
+
+    def test_params_copy_is_detached(self):
+        u = Doubler()
+        p = u.params
+        p["factor"] = 99.0
+        assert u.get_param("factor") == 2.0
+
+    def test_non_default_params(self):
+        assert Doubler().non_default_params() == {}
+        assert Doubler(factor=3.0).non_default_params() == {"factor": 3.0}
+
+    def test_types_at_nodes(self):
+        assert Doubler.input_types_at(0) == [SampleSet]
+        assert Doubler.output_types_at(0) == [SampleSet]
+
+    def test_types_at_bad_node(self):
+        with pytest.raises(UnitError):
+            Doubler.input_types_at(5)
+        with pytest.raises(UnitError):
+            Doubler.output_types_at(1)
+
+    def test_default_types_are_any(self):
+        class Plain(Unit):
+            def process(self, inputs):
+                return [inputs[0]]
+
+        assert Plain.input_types_at(0) == [AnyType]
+
+    def test_per_node_type_lists(self):
+        class TwoKinds(Unit):
+            NUM_INPUTS = 2
+            INPUT_TYPES = ([SampleSet], [Spectrum])
+
+            def process(self, inputs):
+                return [inputs[0]]
+
+        assert TwoKinds.input_types_at(0) == [SampleSet]
+        assert TwoKinds.input_types_at(1) == [Spectrum]
+
+    def test_per_node_count_mismatch(self):
+        class Broken(Unit):
+            NUM_INPUTS = 2
+            INPUT_TYPES = ([SampleSet],)
+
+            def process(self, inputs):
+                return [inputs[0]]
+
+        with pytest.raises(UnitError):
+            Broken.input_types_at(0)
+
+    def test_stateless_restore_rejects_state(self):
+        u = Doubler()
+        u.restore({})  # fine
+        with pytest.raises(UnitError):
+            u.restore({"x": 1})
+
+    def test_process_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Unit().process([None])
+
+    def test_default_cost_model_linear(self):
+        u = Doubler()
+        assert u.estimated_flops(800) == pytest.approx(100.0)
+        assert u.estimated_flops(0) == 1.0
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        reg = UnitRegistry()
+        desc = reg.register(Doubler, category="test")
+        assert desc.name == "Doubler"
+        assert desc.qualified_name == "Doubler@1.0"
+        assert reg.lookup("Doubler").cls is Doubler
+        assert "Doubler" in reg
+        assert len(reg) == 1
+
+    def test_dotted_lookup(self):
+        reg = UnitRegistry()
+        reg.register(Doubler)
+        assert reg.lookup("triana.tools.Doubler").cls is Doubler
+
+    def test_duplicate_rejected(self):
+        reg = UnitRegistry()
+        reg.register(Doubler)
+        with pytest.raises(RegistryError):
+            reg.register(Doubler)
+
+    def test_non_unit_rejected(self):
+        reg = UnitRegistry()
+        with pytest.raises(RegistryError):
+            reg.register(object)  # type: ignore[arg-type]
+
+    def test_unknown_lookup(self):
+        with pytest.raises(RegistryError):
+            UnitRegistry().lookup("Nothing")
+
+    def test_unregister(self):
+        reg = UnitRegistry()
+        reg.register(Doubler)
+        reg.unregister("Doubler")
+        assert "Doubler" not in reg
+        with pytest.raises(RegistryError):
+            reg.unregister("Doubler")
+
+    def test_create_with_params(self):
+        reg = UnitRegistry()
+        reg.register(Doubler)
+        u = reg.create("Doubler", factor=7.0)
+        assert u.get_param("factor") == 7.0
+
+    def test_search_by_category_and_text(self):
+        reg = global_registry()
+        signal_units = reg.search(category="signal")
+        assert any(d.name == "Wave" for d in signal_units)
+        fft_hits = reg.search(text="fft")
+        assert {d.name for d in fft_hits} >= {"FFT", "InverseFFT"}
+
+    def test_global_registry_has_builtin_toolbox(self):
+        reg = global_registry()
+        for name in ("Wave", "GaussianNoise", "FFT", "PowerSpectrum", "AccumStat", "Grapher"):
+            assert name in reg, name
+
+    def test_iteration_yields_descriptors(self):
+        reg = UnitRegistry()
+        reg.register(Doubler)
+        descs = list(reg)
+        assert len(descs) == 1 and descs[0].cls is Doubler

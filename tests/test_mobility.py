@@ -1,0 +1,226 @@
+"""Tests for code mobility: repository, cache, sandbox."""
+
+import pytest
+
+from repro.core import Unit, global_registry
+from repro.mobility import (
+    DEFAULT_PERMISSIONS,
+    OPEN_PERMISSIONS,
+    ModuleCache,
+    ModuleNotFoundInRepo,
+    ModuleRepository,
+    RepositoryUnreachable,
+    SandboxPolicy,
+    SandboxViolation,
+)
+from repro.mobility.errors import MobilityError
+from repro.p2p import Peer, SimNetwork
+from repro.simkernel import Simulator
+
+
+def build(cache_kwargs=None):
+    sim = Simulator(seed=5)
+    net = SimNetwork(sim, jitter_fraction=0.0)
+    repo_peer = Peer("portal", net)
+    device = Peer("device", net)
+    repo = ModuleRepository(repo_peer, global_registry())
+    cache = ModuleCache(device, "portal", **(cache_kwargs or {}))
+    return sim, net, repo, cache, device
+
+
+class TestRepository:
+    def test_package_metadata(self):
+        sim, net, repo, cache, _ = build()
+        pkg = repo.package("Wave")
+        assert pkg.name == "Wave"
+        assert pkg.version == "1.0"
+        assert pkg.qualified_name == "Wave@1.0"
+        assert pkg.code_size > 0
+
+    def test_package_unknown(self):
+        sim, net, repo, cache, _ = build()
+        with pytest.raises(ModuleNotFoundInRepo):
+            repo.package("NoSuchUnit")
+        assert repo.stats.misses == 1
+
+    def test_publish_new_version(self):
+        sim, net, repo, cache, _ = build()
+        repo.publish_new_version("Wave", "2.0")
+        assert repo.current_version("Wave") == "2.0"
+        assert repo.package("Wave").version == "2.0"
+
+    def test_advertisement(self):
+        sim, net, repo, cache, _ = build()
+        adv = repo.advertisement()
+        assert adv.attributes["host"] == "portal"
+        assert adv.attributes["units"] > 50
+
+
+class TestCacheOnDemand:
+    def test_fetch_downloads_code(self):
+        sim, net, repo, cache, _ = build()
+        ev = cache.ensure("Wave")
+        pkg = sim.run(until=ev)
+        assert pkg.name == "Wave"
+        assert cache.cached_names() == ["Wave"]
+        assert cache.stats.bytes_downloaded == pkg.code_size
+        assert repo.stats.packages_served == 1
+
+    def test_on_demand_revalidates_every_time(self):
+        sim, net, repo, cache, _ = build()
+        sim.run(until=cache.ensure("Wave"))
+        sim.run(until=cache.ensure("Wave"))
+        assert cache.stats.fetches == 2
+        assert cache.stats.hits == 1  # same version confirmed
+
+    def test_on_demand_picks_up_new_version(self):
+        sim, net, repo, cache, _ = build()
+        sim.run(until=cache.ensure("Wave"))
+        repo.publish_new_version("Wave", "2.0")
+        pkg = sim.run(until=cache.ensure("Wave"))
+        assert pkg.version == "2.0"
+        assert cache.cached_version("Wave") == "2.0"
+        assert cache.stats.refreshes == 1
+
+    def test_fetch_unknown_module_fails(self):
+        sim, net, repo, cache, _ = build()
+        ev = cache.ensure("Bogus")
+        with pytest.raises(ModuleNotFoundInRepo):
+            sim.run(until=ev)
+        assert cache.stats.failures == 1
+
+    def test_unreachable_repository_times_out(self):
+        sim, net, repo, cache, device = build({"fetch_timeout": 5.0})
+        net.set_online("portal", False)
+        ev = cache.ensure("Wave")
+        with pytest.raises(RepositoryUnreachable):
+            sim.run(until=ev)
+        assert sim.now >= 5.0
+
+    def test_transfer_cost_proportional_to_code_size(self):
+        sim, net, repo, cache, _ = build()
+        before = net.stats.bytes_sent
+        sim.run(until=cache.ensure("Wave"))
+        assert net.stats.bytes_sent - before >= repo.package("Wave").code_size
+
+
+class TestCacheSticky:
+    def test_sticky_hit_avoids_network(self):
+        sim, net, repo, cache, _ = build({"policy": "sticky"})
+        sim.run(until=cache.ensure("Wave"))
+        before = net.stats.sent
+        ev = cache.ensure("Wave")
+        pkg = sim.run(until=ev)
+        assert net.stats.sent == before  # served locally
+        assert pkg.version == "1.0"
+        assert cache.stats.hits == 1
+
+    def test_sticky_runs_stale_code(self):
+        sim, net, repo, cache, _ = build({"policy": "sticky"})
+        sim.run(until=cache.ensure("Wave"))
+        repo.publish_new_version("Wave", "2.0")
+        pkg = sim.run(until=cache.ensure("Wave"))
+        assert pkg.version == "1.0"  # stale!
+        if pkg.version != repo.current_version("Wave"):
+            cache.note_stale_use()
+        assert cache.stats.stale_uses == 1
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(MobilityError):
+            build({"policy": "telepathy"})
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(MobilityError):
+            build({"capacity_bytes": 0})
+
+
+class TestConstrainedDevice:
+    def test_lru_eviction_under_pressure(self):
+        """Constrained device: cache holds ~3 modules, LRU evicted."""
+        sim, net, repo, cache, _ = build({"capacity_bytes": 65_000})
+        for name in ("Wave", "FFT", "PowerSpectrum", "AccumStat"):
+            sim.run(until=cache.ensure(name))
+        assert cache.stats.evictions >= 1
+        assert "Wave" not in cache.cached_names()  # oldest went first
+        assert cache.used_bytes <= 65_000
+
+    def test_explicit_release(self):
+        sim, net, repo, cache, _ = build()
+        sim.run(until=cache.ensure("Wave"))
+        cache.release("Wave")
+        assert cache.cached_names() == []
+        with pytest.raises(MobilityError):
+            cache.release("Wave")
+
+    def test_lru_order_respects_recency(self):
+        sim, net, repo, cache, _ = build({"capacity_bytes": 45_000})
+        sim.run(until=cache.ensure("Wave"))
+        sim.run(until=cache.ensure("FFT"))
+        # Touch Wave so FFT becomes LRU.
+        sim.run(until=cache.ensure("Wave"))
+        sim.run(until=cache.ensure("AccumStat"))
+        assert "FFT" not in cache.cached_names()
+        assert "Wave" in cache.cached_names()
+
+
+class TestSandbox:
+    def test_default_denies_filesystem(self):
+        class FileReader(Unit):
+            REQUIRED_PERMISSIONS = ("fs.read",)
+
+            def process(self, inputs):
+                return [inputs[0]]
+
+        policy = SandboxPolicy()
+        with pytest.raises(SandboxViolation):
+            policy.authorise(FileReader)
+        assert policy.stats.denials == 1
+
+    def test_open_policy_allows(self):
+        class FileReader(Unit):
+            REQUIRED_PERMISSIONS = ("fs.read",)
+
+            def process(self, inputs):
+                return [inputs[0]]
+
+        policy = SandboxPolicy(granted=OPEN_PERMISSIONS)
+        unit = policy.instantiate(FileReader)
+        assert isinstance(unit, FileReader)
+
+    def test_pure_compute_passes_default(self):
+        from repro.core.toolbox.signal import Wave
+
+        SandboxPolicy().authorise(Wave)
+
+    def test_certified_only_blocks_unlisted(self):
+        from repro.core.toolbox.signal import FFT, Wave
+
+        policy = SandboxPolicy(certified_only=True, certified_library={"Wave@1.0"})
+        policy.authorise(Wave)
+        with pytest.raises(SandboxViolation):
+            policy.authorise(FFT)
+        assert policy.stats.uncertified_rejections == 1
+
+    def test_certified_checks_version(self):
+        from repro.core.toolbox.signal import Wave
+
+        policy = SandboxPolicy(certified_only=True, certified_library={"Wave@1.0"})
+        with pytest.raises(SandboxViolation):
+            policy.authorise(Wave, version="6.6.6")
+
+    def test_ram_cap(self):
+        policy = SandboxPolicy(max_module_ram=1_000_000)
+        policy.check_ram(500_000)
+        with pytest.raises(SandboxViolation):
+            policy.check_ram(2_000_000)
+
+    def test_default_permissions_are_compute_only(self):
+        assert "fs.read" not in DEFAULT_PERMISSIONS
+        assert "net.connect" not in DEFAULT_PERMISSIONS
+        assert "cpu" in DEFAULT_PERMISSIONS
+
+    def test_instantiate_passes_params(self):
+        from repro.core.toolbox.signal import Wave
+
+        unit = SandboxPolicy().instantiate(Wave, frequency=32.0)
+        assert unit.get_param("frequency") == 32.0

@@ -1,0 +1,92 @@
+"""Tests for advertisements and the peer-local cache."""
+
+from repro.p2p import ADV_PEER, ADV_PIPE, AdvCache, Advertisement
+
+
+def adv(name="res", adv_type=ADV_PIPE, publisher="p0", attrs=None, expires=float("inf")):
+    return Advertisement.make(adv_type, name, publisher, attrs, expires)
+
+
+class TestAdvertisement:
+    def test_make_and_attributes(self):
+        a = adv(attrs={"cpu": 2e9, "ram": 1})
+        assert a.attributes == {"cpu": 2e9, "ram": 1}
+
+    def test_matches_type_and_name(self):
+        a = adv(name="pipe-1")
+        assert a.matches(adv_type=ADV_PIPE)
+        assert a.matches(name="pipe-1")
+        assert not a.matches(adv_type=ADV_PEER)
+        assert not a.matches(name="pipe-2")
+
+    def test_matches_predicate(self):
+        a = adv(attrs={"cpu": 3e9})
+        assert a.matches(predicate=lambda at: at["cpu"] > 2e9)
+        assert not a.matches(predicate=lambda at: at["cpu"] > 4e9)
+
+    def test_ids_are_unique_and_ordered(self):
+        a, b = adv(), adv()
+        assert b.adv_id > a.adv_id
+
+    def test_wire_size_grows_with_attrs(self):
+        assert adv(attrs={"a": 1, "b": 2}).wire_size() > adv().wire_size()
+
+
+class TestAdvCache:
+    def test_put_and_query(self):
+        c = AdvCache()
+        a = adv(name="x")
+        c.put(a)
+        assert c.query(now=0.0, name="x") == [a]
+        assert c.query(now=0.0, name="y") == []
+
+    def test_republish_replaces(self):
+        c = AdvCache()
+        c.put(adv(name="x", attrs={"v": 1}))
+        c.put(adv(name="x", attrs={"v": 2}))
+        assert len(c) == 1
+        assert c.query(0.0, name="x")[0].attributes["v"] == 2
+
+    def test_distinct_publishers_coexist(self):
+        c = AdvCache()
+        c.put(adv(name="x", publisher="a"))
+        c.put(adv(name="x", publisher="b"))
+        assert len(c) == 2
+
+    def test_expiry(self):
+        c = AdvCache()
+        c.put(adv(name="x", expires=10.0))
+        c.put(adv(name="y"))
+        assert len(c.query(now=5.0)) == 2
+        assert [a.name for a in c.query(now=10.0)] == ["y"]
+        assert len(c) == 1  # expired record physically removed
+
+    def test_expire_returns_count(self):
+        c = AdvCache()
+        c.put(adv(name="x", expires=1.0))
+        c.put(adv(name="y", expires=1.0))
+        assert c.expire(now=2.0) == 2
+
+    def test_remove_and_remove_publisher(self):
+        c = AdvCache()
+        a = adv(name="x", publisher="p1")
+        c.put(a)
+        c.put(adv(name="y", publisher="p1"))
+        c.put(adv(name="z", publisher="p2"))
+        c.remove(a)
+        assert len(c) == 2
+        assert c.remove_publisher("p1") == 1
+        assert [r.name for r in c] == ["z"]
+
+    def test_query_order_is_publication_order(self):
+        c = AdvCache()
+        first, second = adv(name="a"), adv(name="b")
+        c.put(second)
+        c.put(first)
+        assert [r.adv_id for r in c.query(0.0)] == sorted([first.adv_id, second.adv_id])
+
+    def test_iteration(self):
+        c = AdvCache()
+        c.put(adv(name="a"))
+        c.put(adv(name="b"))
+        assert len(list(c)) == 2

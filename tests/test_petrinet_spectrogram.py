@@ -1,0 +1,127 @@
+"""Tests for the Petri-net wire format and the Spectrogram unit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig1_graph, fig1_grouped
+from repro.core import (
+    LocalEngine,
+    SampleSet,
+    SerializationError,
+    UnitError,
+    graph_from_petrinet,
+    graph_to_petrinet,
+    petri_structure,
+)
+from repro.core.toolbox.signal import Spectrogram
+
+
+class TestPetriRoundTrip:
+    def test_plain_graph_round_trip(self):
+        g = fig1_graph()
+        g2 = graph_from_petrinet(graph_to_petrinet(g))
+        assert sorted(g2.tasks) == sorted(g.tasks)
+        assert {c.label() for c in g2.connections} == {
+            c.label() for c in g.connections
+        }
+
+    def test_grouped_round_trip(self):
+        g = fig1_grouped()
+        g2 = graph_from_petrinet(graph_to_petrinet(g))
+        group = g2.task("GroupTask")
+        assert group.policy == "parallel"
+        assert sorted(group.graph.tasks) == ["FFT", "Gaussian"]
+        g2.validate()
+
+    def test_round_trip_stable(self):
+        text = graph_to_petrinet(fig1_grouped())
+        assert graph_to_petrinet(graph_from_petrinet(text)) == text
+
+    def test_executes_identically(self):
+        g2 = graph_from_petrinet(graph_to_petrinet(fig1_graph()))
+        e1, e2 = LocalEngine(fig1_graph()), LocalEngine(g2)
+        p1, p2 = e1.attach_probe("Accum"), e2.attach_probe("Accum")
+        e1.run(3)
+        e2.run(3)
+        np.testing.assert_allclose(p1.last.data, p2.last.data)
+
+    def test_params_survive(self):
+        g2 = graph_from_petrinet(graph_to_petrinet(fig1_graph()))
+        assert g2.task("Wave").params["frequency"] == 64.0
+        assert g2.task("Gaussian").params["sigma"] == 2.0
+
+    def test_errors(self):
+        with pytest.raises(SerializationError):
+            graph_from_petrinet("<oops/>")
+        with pytest.raises(SerializationError):
+            graph_from_petrinet('<net><transition id="x"/></net>')
+        with pytest.raises(SerializationError):
+            graph_from_petrinet("<net><transition/></net>")
+        with pytest.raises(SerializationError):
+            graph_from_petrinet('<net><place id="p"/></net>')
+
+
+class TestPetriStructure:
+    def test_workflow_net_shape(self):
+        """Transitions = tasks; places = connections; arcs alternate."""
+        net = petri_structure(fig1_graph())
+        assert len(net.transitions) == 6
+        assert len(net.places) == 5
+        assert len(net.arcs) == 10
+        # Each place has exactly one producer and one consumer.
+        for p in net.places:
+            assert len(net.preset(p)) == 1
+            assert len(net.postset(p)) == 1
+
+    def test_source_and_sink_transitions(self):
+        net = petri_structure(fig1_graph())
+        assert net.preset("Wave") == set()
+        assert net.postset("Grapher") == set()
+
+    def test_grouped_graph_flattens_into_net(self):
+        net = petri_structure(fig1_grouped())
+        assert "GroupTask/Gaussian" in net.transitions
+        assert len(net.places) == 5  # same dataflow, regrouped names
+
+
+class TestSpectrogram:
+    def chirp(self, n=2048, fs=1024.0):
+        t = np.arange(n) / fs
+        freq = 50.0 + 150.0 * t / (n / fs)
+        phase = 2 * np.pi * np.cumsum(freq) / fs
+        return SampleSet(data=np.sin(phase), sampling_rate=fs)
+
+    def test_shape_and_axes(self):
+        (tf,) = Spectrogram(window=128, hop=64).process([self.chirp()])
+        assert tf.data.shape == ((2048 - 128) // 64 + 1, 65)
+        assert tf.dt == pytest.approx(64 / 1024.0)
+        assert tf.df == pytest.approx(8.0)
+
+    def test_tracks_rising_chirp(self):
+        (tf,) = Spectrogram(window=128, hop=64).process([self.chirp()])
+        first_peak = tf.data[0].argmax() * tf.df
+        last_peak = tf.data[-1].argmax() * tf.df
+        assert last_peak > first_peak + 80.0
+
+    def test_stationary_tone_constant_ridge(self):
+        t = np.arange(1024) / 1024.0
+        sig = SampleSet(data=np.sin(2 * np.pi * 100 * t), sampling_rate=1024.0)
+        (tf,) = Spectrogram(window=128, hop=64).process([sig])
+        ridges = tf.data.argmax(axis=1) * tf.df
+        assert np.allclose(ridges, 100.0, atol=tf.df)
+
+    def test_too_short_signal(self):
+        with pytest.raises(UnitError):
+            Spectrogram(window=256).process(
+                [SampleSet(data=np.zeros(64), sampling_rate=1.0)]
+            )
+
+    def test_inspiral_chirp_visible(self):
+        """The Case-2 signal rises through the spectrogram."""
+        from repro.apps.inspiral import chirp_waveform
+
+        h = chirp_waveform(1.4, sampling_rate=2000.0)
+        sig = SampleSet(data=h, sampling_rate=2000.0)
+        (tf,) = Spectrogram(window=256, hop=64).process([sig])
+        ridge = tf.data.argmax(axis=1) * tf.df
+        assert ridge[-1] > ridge[0]

@@ -1,0 +1,95 @@
+"""Tests for the disconnected progress views (§3.2)."""
+
+from repro import ConsumerGrid
+from repro.analysis import fig1_grouped
+from repro.service import ProgressMonitor, TextProgressView, WapProgressView
+
+
+def run_with_views(iterations=5, seed=61):
+    grid = ConsumerGrid(n_workers=2, seed=seed)
+    text, wap, raw = TextProgressView(), WapProgressView(), ProgressMonitor()
+    for view in (text, wap, raw):
+        grid.controller.attach_monitor(view)
+    grid.run(fig1_grouped(), iterations=iterations)
+    return grid, text, wap, raw
+
+
+class TestEventStream:
+    def test_event_sequence(self):
+        _grid, _text, _wap, raw = run_with_views()
+        kinds = [e.kind for e in raw.events]
+        assert kinds[0] == "run-started"
+        assert kinds[-1] == "run-finished"
+        assert kinds.count("deployed") == 2
+        assert kinds.count("iteration-complete") == 5
+
+    def test_events_carry_data(self):
+        _grid, _text, _wap, raw = run_with_views()
+        started = raw.of_kind("run-started")[0]
+        assert started.info["iterations"] == 5
+        assert started.info["policy"] == "parallel"
+        deployed = raw.of_kind("deployed")
+        assert {e.info["worker"] for e in deployed} == {"worker-0", "worker-1"}
+
+    def test_event_times_monotone(self):
+        _grid, _text, _wap, raw = run_with_views()
+        times = [e.time for e in raw.events]
+        assert times == sorted(times)
+
+    def test_no_monitor_is_free(self):
+        """Runs without monitors must not construct any events."""
+        grid = ConsumerGrid(n_workers=2, seed=62)
+        report = grid.run(fig1_grouped(), iterations=3)
+        assert report.iterations == 3  # just works, no observers
+
+
+class TestTextView:
+    def test_page_summarises_run(self):
+        _grid, text, _wap, _raw = run_with_views()
+        page = text.page()
+        assert "5/5 iterations (100%)" in page
+        assert "2 deployments" in page
+        assert "run finished" in page
+
+    def test_page_orders_lines(self):
+        _grid, text, _wap, _raw = run_with_views()
+        lines = text.lines
+        assert lines[0].startswith("[t=")
+        assert "run started" in lines[0]
+        assert "run finished" in lines[-1]
+
+    def test_redispatch_reported(self):
+        from repro.p2p import LAN_PROFILE
+        from tests.test_service_run import stateless_pipeline
+
+        grid = ConsumerGrid(
+            n_workers=3, seed=63, retry_timeout=5.0, retry_interval=1.0,
+            worker_profile=LAN_PROFILE, controller_profile=LAN_PROFILE,
+            worker_efficiency=1e-5,
+        )
+        text = TextProgressView()
+        grid.controller.attach_monitor(text)
+        workers = grid.discover_workers()
+        done = grid.controller.run_distributed(stateless_pipeline(), 9, workers)
+        grid.sim.call_at(0.3, lambda: grid.worker_peers["worker-1"].go_offline())
+        grid.sim.run(until=done)
+        assert text.state.redispatches >= 1
+        assert any("re-dispatched" in line for line in text.lines)
+
+
+class TestWapView:
+    def test_status_progression(self):
+        _grid, _text, wap, _raw = run_with_views()
+        assert wap.status == "done 5/5"
+
+    def test_status_is_small_device_sized(self):
+        _grid, _text, wap, _raw = run_with_views()
+        assert len(wap.status) <= WapProgressView.MAX_CHARS
+
+    def test_status_midway(self):
+        wap = WapProgressView()
+        from repro.service import ProgressEvent
+
+        wap.notify(ProgressEvent(0.0, "run-started", (("iterations", 4),)))
+        wap.notify(ProgressEvent(1.0, "iteration-complete", (("iteration", 0),)))
+        assert wap.status == "run 1/4"

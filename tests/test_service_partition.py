@@ -1,0 +1,86 @@
+"""Tests for graph partitioning around the distributed group."""
+
+import pytest
+
+from repro.core import TaskGraph
+from repro.service import SchedulingError, find_distributable_group, partition_for_group
+from tests.test_core_taskgraph import fig1_graph
+
+
+def grouped():
+    g = fig1_graph()
+    g.group_tasks("GroupTask", ["Gaussian", "FFT"], policy="parallel")
+    return g
+
+
+class TestFindGroup:
+    def test_finds_single_policy_group(self):
+        g = grouped()
+        assert find_distributable_group(g).name == "GroupTask"
+
+    def test_none_when_no_policy(self):
+        g = fig1_graph()
+        g.group_tasks("G", ["Gaussian", "FFT"], policy="none")
+        assert find_distributable_group(g) is None
+
+    def test_multiple_policy_groups_rejected(self):
+        g = fig1_graph()
+        g.group_tasks("G1", ["Gaussian"], policy="parallel")
+        g.group_tasks("G2", ["FFT"], policy="parallel")
+        with pytest.raises(SchedulingError):
+            find_distributable_group(g)
+
+
+class TestPartition:
+    def test_zones(self):
+        part = partition_for_group(grouped(), "GroupTask")
+        assert sorted(part.upstream.tasks) == ["Wave"]
+        assert sorted(part.downstream.tasks) == ["Accum", "Grapher", "Power"]
+
+    def test_boundary_connections(self):
+        part = partition_for_group(grouped(), "GroupTask")
+        assert [c.label() for c in part.to_group] == ["Wave:0->GroupTask:0"]
+        assert [c.label() for c in part.from_group] == ["GroupTask:0->Power:0"]
+        assert part.cross == []
+
+    def test_downstream_internal_connections_preserved(self):
+        part = partition_for_group(grouped(), "GroupTask")
+        labels = {c.label() for c in part.downstream.connections}
+        assert "Power:0->Accum:0" in labels
+        assert "Accum:0->Grapher:0" in labels
+
+    def test_downstream_external_inputs(self):
+        part = partition_for_group(grouped(), "GroupTask")
+        assert part.downstream_external_inputs() == [("Power", 0)]
+
+    def test_cross_connection_classified(self):
+        g = TaskGraph("cross")
+        g.add_task("Wave", "Wave")
+        g.add_task("Noise", "GaussianNoise")
+        g.add_task("Mix", "Mixer")
+        g.connect("Wave", 0, "Noise", 0)
+        g.connect("Wave", 0, "Mix", 1)  # bypasses the group
+        g.connect("Noise", 0, "Mix", 0)
+        g.group_tasks("G", ["Noise"], policy="parallel")
+        part = partition_for_group(g, "G")
+        assert [c.label() for c in part.cross] == ["Wave:0->Mix:1"]
+        assert part.downstream_external_inputs() == [("Mix", 0), ("Mix", 1)]
+
+    def test_not_a_group_rejected(self):
+        g = grouped()
+        with pytest.raises(SchedulingError):
+            partition_for_group(g, "Wave")
+
+    def test_group_with_sources_inside(self):
+        """A group containing the source has zero external inputs."""
+        g = TaskGraph("srcgrp")
+        g.add_task("Wave", "Wave")
+        g.add_task("FFT", "FFT")
+        g.add_task("Power", "PowerSpectrum")
+        g.connect("Wave", 0, "FFT", 0)
+        g.connect("FFT", 0, "Power", 0)
+        g.group_tasks("G", ["Wave", "FFT"], policy="parallel")
+        part = partition_for_group(g, "G")
+        assert part.to_group == []
+        assert sorted(part.upstream.tasks) == []
+        assert sorted(part.downstream.tasks) == ["Power"]

@@ -1,0 +1,182 @@
+"""Tests for Store and Resource wait primitives."""
+
+import pytest
+
+from repro.simkernel import ProcessError, Resource, Simulator, Store
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def producer(sim, store):
+        yield store.put("a")
+        yield store.put("b")
+
+    def consumer(sim, store):
+        for _ in range(2):
+            item = yield store.get()
+            out.append(item)
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert out == ["a", "b"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        out.append((sim.now, item))
+
+    def producer(sim, store):
+        yield sim.timeout(7.0)
+        yield store.put("late")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert out == [(7.0, "late")]
+
+
+def test_store_fifo_between_getters():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def consumer(sim, store, tag):
+        item = yield store.get()
+        out.append((tag, item))
+
+    sim.process(consumer(sim, store, "first"))
+    sim.process(consumer(sim, store, "second"))
+
+    def producer(sim, store):
+        yield sim.timeout(1.0)
+        yield store.put(1)
+        yield store.put(2)
+
+    sim.process(producer(sim, store))
+    sim.run()
+    assert out == [("first", 1), ("second", 2)]
+
+
+def test_store_capacity_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    times = []
+
+    def producer(sim, store):
+        yield store.put("x")
+        times.append(("put-x", sim.now))
+        yield store.put("y")
+        times.append(("put-y", sim.now))
+
+    def consumer(sim, store):
+        yield sim.timeout(5.0)
+        item = yield store.get()
+        times.append(("got", item, sim.now))
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert ("put-x", 0.0) in times
+    assert ("put-y", 5.0) in times
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_store_len():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    sim.run()
+    assert len(store) == 2
+
+
+def test_resource_serialises_access():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def worker(sim, res, tag, dur):
+        req = res.request()
+        yield req
+        start = sim.now
+        yield sim.timeout(dur)
+        res.release(req)
+        spans.append((tag, start, sim.now))
+
+    sim.process(worker(sim, res, "a", 3.0))
+    sim.process(worker(sim, res, "b", 2.0))
+    sim.run()
+    assert spans == [("a", 0.0, 3.0), ("b", 3.0, 5.0)]
+
+
+def test_resource_parallel_slots():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    spans = []
+
+    def worker(sim, res, tag):
+        req = res.request()
+        yield req
+        start = sim.now
+        yield sim.timeout(4.0)
+        res.release(req)
+        spans.append((tag, start))
+
+    for tag in ("a", "b", "c"):
+        sim.process(worker(sim, res, tag))
+    sim.run()
+    starts = dict((t, s) for t, s in spans)
+    assert starts["a"] == 0.0 and starts["b"] == 0.0 and starts["c"] == 4.0
+
+
+def test_resource_counts_and_queue():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    sim.run()
+    assert res.count == 1
+    assert res.queue_length == 1
+    res.release(r1)
+    assert res.count == 1  # r2 promoted
+    assert res.queue_length == 0
+    res.release(r2)
+    assert res.count == 0
+
+
+def test_resource_release_waiting_request_cancels_it():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    res.release(r2)  # cancel while waiting
+    assert res.queue_length == 0
+    res.release(r1)
+    assert res.count == 0
+
+
+def test_resource_bogus_release_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(ProcessError):
+        res.release(sim.event())
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)

@@ -1,0 +1,305 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simkernel import (
+    EventStateError,
+    Interrupt,
+    ProcessError,
+    SimTimeError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.peek() == float("inf")
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(3.5)
+    sim.run()
+    assert sim.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimTimeError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(SimTimeError):
+        sim.run(until=1.0)
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in "abc":
+        ev = sim.timeout(1.0)
+        ev.callbacks.append(lambda _e, tag=tag: order.append(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter(sim, ev):
+        value = yield ev
+        got.append(value)
+
+    sim.process(waiter(sim, ev))
+    sim.call_at(2.0, lambda: ev.succeed("payload"))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(EventStateError):
+        ev.succeed(2)
+    with pytest.raises(EventStateError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(EventStateError):
+        _ = ev.value
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+
+    def waiter(sim, ev):
+        try:
+            yield ev
+        except ValueError as exc:
+            seen.append(str(exc))
+
+    sim.process(waiter(sim, ev))
+    ev.fail(ValueError("boom"))
+    sim.run()
+    assert seen == ["boom"]
+
+
+def test_process_return_value_via_run():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    proc = sim.process(worker(sim))
+    assert sim.run(until=proc) == 42
+
+
+def test_process_exception_propagates_through_run():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("worker died")
+
+    proc = sim.process(worker(sim))
+    with pytest.raises(RuntimeError, match="worker died"):
+        sim.run(until=proc)
+
+
+def test_process_bad_yield_is_a_process_error():
+    sim = Simulator()
+
+    def worker(sim):
+        yield "not an event"
+
+    proc = sim.process(worker(sim))
+    with pytest.raises(ProcessError):
+        sim.run(until=proc)
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+    trace = []
+
+    def child(sim):
+        yield sim.timeout(5.0)
+        trace.append(("child", sim.now))
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        trace.append(("parent", sim.now, result))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert trace == [("child", 5.0), ("parent", 5.0, "child-result")]
+
+
+def test_interrupt_reaches_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    proc = sim.process(sleeper(sim))
+    sim.call_at(3.0, lambda: proc.interrupt("churn"))
+    sim.run()
+    assert log == [(3.0, "churn")]
+
+
+def test_unhandled_interrupt_fails_process():
+    sim = Simulator()
+
+    def sleeper(sim):
+        yield sim.timeout(100.0)
+
+    proc = sim.process(sleeper(sim))
+    sim.call_at(1.0, lambda: proc.interrupt())
+    with pytest.raises(Interrupt):
+        sim.run(until=proc)
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0.0)
+
+    proc = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(ProcessError):
+        proc.interrupt()
+
+
+def test_interrupted_process_not_resumed_by_original_event():
+    """After interrupt, the original timeout firing must not resume the proc."""
+    sim = Simulator()
+    wakeups = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(10.0)
+            wakeups.append("timeout")
+        except Interrupt:
+            wakeups.append("interrupt")
+            yield sim.timeout(50.0)
+            wakeups.append("after")
+
+    proc = sim.process(sleeper(sim))
+    sim.call_at(1.0, lambda: proc.interrupt())
+    sim.run()
+    assert wakeups == ["interrupt", "after"]
+    assert sim.now == 51.0
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    results = []
+
+    def waiter(sim):
+        t1 = sim.timeout(5.0, value="slow")
+        t2 = sim.timeout(2.0, value="fast")
+        done = yield sim.any_of([t1, t2])
+        results.append((sim.now, sorted(done.values())))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert results == [(2.0, ["fast"])]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    results = []
+
+    def waiter(sim):
+        ts = [sim.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+        done = yield sim.all_of(ts)
+        results.append((sim.now, sorted(done.values())))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert results == [(3.0, [1.0, 2.0, 3.0])]
+
+
+def test_all_of_empty_is_immediate():
+    sim = Simulator()
+    done = []
+
+    def waiter(sim):
+        yield sim.all_of([])
+        done.append(sim.now)
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert done == [0.0]
+
+
+def test_yield_already_processed_event():
+    sim = Simulator()
+    ev = sim.timeout(0.0, value="early")
+    sim.run()
+    got = []
+
+    def late(sim, ev):
+        value = yield ev
+        got.append(value)
+
+    sim.process(late(sim, ev))
+    sim.run()
+    assert got == ["early"]
+
+
+def test_run_until_event_with_drained_queue_raises():
+    sim = Simulator()
+    ev = sim.event()  # never triggered
+    with pytest.raises(ProcessError):
+        sim.run(until=ev)
+
+
+def test_call_at_in_past_rejected():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(SimTimeError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.timeout(1.0)
+    sim.run()
+    assert sim.events_executed == 4
