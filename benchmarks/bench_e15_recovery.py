@@ -1,0 +1,121 @@
+"""E15 (robustness) — recovery overhead under churn vs a fault-free run.
+
+Paper anchor: the Consumer Grid's peers "may disconnect at any time"
+(§1), yet the paper never quantifies what surviving that costs.  This
+bench runs the galaxy-formation farm through the chaos layer at each
+preset intensity and measures the price of coming back: makespan
+overhead vs the fault-free baseline, redispatches, suspicions and
+heartbeat traffic.  Results must stay *bit-identical* at every level —
+robustness that changes answers is not robustness.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.apps.galaxy import build_galaxy_graph, generate_snapshots
+from repro.faults import chaos
+from repro.grid import ConsumerGrid
+from repro.p2p import LAN_PROFILE
+
+N_WORKERS = 6
+N_FRAMES = 12
+N_PARTICLES = 300
+LEVELS = (None, "mild", "moderate", "heavy")
+
+
+def make_grid(plan, seed=900):
+    return ConsumerGrid(
+        n_workers=N_WORKERS,
+        seed=seed,
+        worker_profile=LAN_PROFILE,
+        controller_profile=LAN_PROFILE,
+        worker_efficiency=1e-5,
+        heartbeat_interval=1.0,
+        suspect_after_missed=2,
+        retry_timeout=30.0,
+        retry_interval=2.0,
+        fault_plan=plan,
+    )
+
+
+def run_levels(seed=900, chaos_seed=5):
+    workers = [f"worker-{i}" for i in range(N_WORKERS)]
+    generate_snapshots(N_FRAMES, N_PARTICLES, seed=3, register_as="e15-gal")
+    rows = []
+    baseline = None
+    reference = None
+    for level in LEVELS:
+        plan = (
+            chaos(level, seed=chaos_seed, workers=workers,
+                  start=5.0, horizon=40.0)
+            if level
+            else None
+        )
+        grid = make_grid(plan, seed=seed)
+        graph = build_galaxy_graph("e15-gal", resolution=16)
+        report = grid.run(graph, iterations=N_FRAMES, run_until=100_000)
+        frames = [out[0].pixels for out in report.group_results]
+        if baseline is None:
+            baseline = report.makespan
+            reference = frames
+        identical = all(
+            np.array_equal(a, b) for a, b in zip(reference, frames)
+        )
+        rec = report.recovery
+        rows.append(
+            {
+                "level": level or "none",
+                "makespan_s": report.makespan,
+                "overhead_pct": 100.0 * (report.makespan / baseline - 1.0),
+                "redispatches": rec["redispatches"],
+                "suspected": len(rec["suspected"]),
+                "heartbeats": rec["heartbeats"],
+                "identical": identical,
+            }
+        )
+    return rows
+
+
+def test_e15_recovery_overhead(benchmark, save_result):
+    rows = benchmark.pedantic(run_levels, rounds=1, iterations=1)
+    by = {r["level"]: r for r in rows}
+    # Correctness is non-negotiable at every chaos level.
+    assert all(r["identical"] for r in rows)
+    # Recovery costs time once the storm is real.  (Heavy isn't always
+    # slower than moderate: plans are independent seeded draws.)
+    assert by["moderate"]["overhead_pct"] > 10.0
+    assert by["heavy"]["overhead_pct"] > 10.0
+    # The detector was actually doing the work under real churn.
+    assert by["moderate"]["suspected"] >= 1
+    assert by["moderate"]["redispatches"] >= 1
+    save_result(
+        "e15_recovery",
+        render_table(
+            [
+                "chaos level",
+                "makespan (s)",
+                "overhead (%)",
+                "redispatches",
+                "suspected",
+                "heartbeats",
+                "identical",
+            ],
+            [
+                (
+                    r["level"],
+                    r["makespan_s"],
+                    r["overhead_pct"],
+                    r["redispatches"],
+                    r["suspected"],
+                    r["heartbeats"],
+                    r["identical"],
+                )
+                for r in rows
+            ],
+            title=(
+                f"E15  recovery overhead under chaos, galaxy farm "
+                f"({N_FRAMES} frames, {N_WORKERS} workers): "
+                "results stay identical at every level"
+            ),
+        ),
+    )

@@ -15,6 +15,7 @@ Subsystems (see DESIGN.md):
 ``repro.mobility``   module repository, on-demand download, sandbox
 ``repro.resources``  hosts, volunteer availability, GRAM gateway, accounts
 ``repro.service``    Triana worker services + controller (distribution)
+``repro.faults``     chaos layer: declarative fault plans + injector
 ``repro.apps``       galaxy formation, inspiral search, database scenarios
 ``repro.analysis``   metrics and table harness for the benchmarks
 ===================  ========================================================
@@ -53,15 +54,25 @@ from .core import (
     graph_from_string,
     graph_to_string,
 )
+from .faults import Fault, FaultInjector, FaultPlan, chaos
 from .grid import ConsumerGrid
-from .service import RunReport, TrianaController, TrianaService
+from .service import (
+    HeartbeatFailureDetector,
+    RunReport,
+    TrianaController,
+    TrianaService,
+)
 from .simkernel import Simulator
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ConsumerGrid",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
     "GraphError",
+    "HeartbeatFailureDetector",
     "LocalEngine",
     "RunReport",
     "SampleSet",
@@ -74,6 +85,7 @@ __all__ = [
     "Unit",
     "UnitRegistry",
     "__version__",
+    "chaos",
     "global_registry",
     "graph_from_string",
     "graph_to_string",

@@ -1,0 +1,33 @@
+"""Chaos layer (system S10): declarative fault injection for the grid.
+
+The consumer network the paper targets is hostile by default — peers
+"may disconnect at any time".  This package makes that hostility
+*scriptable*:
+
+* :class:`Fault` / :class:`FaultPlan` — declarative, validated, timed
+  fault specs (crash, partition, corrupt, duplicate, reorder, slowdown,
+  portal outage);
+* :func:`chaos` — seed-driven preset plans (``mild`` | ``moderate`` |
+  ``heavy``);
+* :class:`FaultInjector` — schedules a plan onto the simkernel against a
+  :class:`~repro.p2p.network.SimNetwork` (and, when peers are known,
+  through :class:`~repro.resources.availability.ScriptedAvailability`).
+
+See ``docs/robustness.md`` for the full fault model and how the adaptive
+recovery layer in :mod:`repro.service` responds.
+"""
+
+from .errors import FaultError, FaultPlanError
+from .injector import FaultInjector
+from .plan import CHAOS_LEVELS, FAULT_KINDS, Fault, FaultPlan, chaos
+
+__all__ = [
+    "CHAOS_LEVELS",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "chaos",
+]

@@ -1,0 +1,11 @@
+"""Errors raised by the fault-injection subsystem."""
+
+__all__ = ["FaultError", "FaultPlanError"]
+
+
+class FaultError(Exception):
+    """Base class for fault-injection failures."""
+
+
+class FaultPlanError(FaultError):
+    """A fault plan is malformed (unknown kind, bad targets, bad window)."""

@@ -1,0 +1,178 @@
+"""Schedules a :class:`FaultPlan` onto the simulation kernel.
+
+The injector translates each declarative :class:`~repro.faults.plan.Fault`
+into concrete simkernel events against a :class:`~repro.p2p.network.SimNetwork`:
+
+* ``crash`` / ``portal-outage`` — when the affected :class:`~repro.p2p.peer.Peer`
+  objects are known, outages are driven through a
+  :class:`~repro.resources.availability.ScriptedAvailability` model so the
+  usual availability stats and churn listeners fire; otherwise the node is
+  toggled directly on the network.
+* ``partition`` — a named cut between two node groups, healed when the
+  window closes.
+* ``corrupt`` / ``duplicate`` / ``reorder`` — the network-wide fraction is
+  raised for the window and restored to its baseline afterwards (windows
+  may stack; the *baseline* is whatever the network was built with).
+* ``slowdown`` — the target's CPU speed factor is scaled for the window.
+
+Every applied action is appended to :attr:`FaultInjector.log`, and
+:meth:`summary` renders the counts the run report embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..p2p.network import SimNetwork
+from ..p2p.peer import Peer
+from ..simkernel import Simulator
+from .errors import FaultError
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies a fault plan to a simulated network, deterministically."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: SimNetwork,
+        plan: FaultPlan,
+        peers: Optional[dict[str, Peer]] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.plan = plan
+        self.peers = dict(peers or {})
+        #: chronological record of every action the injector took
+        self.log: list[dict[str, Any]] = []
+        #: availability models installed for crash faults, by peer id
+        self.availability: dict[str, Any] = {}
+        self._scheduled = False
+        self._active_cuts: dict[int, int] = {}  # plan index -> network cut id
+
+    # -- scheduling -----------------------------------------------------------
+    def schedule(self) -> "FaultInjector":
+        """Install every fault onto the kernel.  Idempotent.
+
+        Faults whose start time is already in the past are skipped (with a
+        log entry) rather than fired late — a plan is a script, not a queue.
+        """
+        if self._scheduled:
+            return self
+        self._scheduled = True
+        self.plan.validate(self.network.nodes())
+        now = self.sim.now
+
+        # Crash-like faults grouped per target so one ScriptedAvailability
+        # model carries all of a peer's outage windows.
+        outage_windows: dict[str, list[tuple[float, float]]] = {}
+        for index, fault in enumerate(self.plan):
+            if fault.at < now:
+                self._log("skipped-past", fault.describe())
+                continue
+            if fault.kind in ("crash", "portal-outage"):
+                for target in fault.targets or ("portal",):
+                    outage_windows.setdefault(target, []).append(
+                        (fault.at, fault.duration)
+                    )
+                continue
+            if fault.kind == "partition":
+                self.sim.call_at(fault.at, lambda f=fault, i=index: self._cut(i, f))
+                if fault.duration > 0:
+                    self.sim.call_at(
+                        fault.ends_at, lambda f=fault, i=index: self._heal(i, f)
+                    )
+            elif fault.kind in ("corrupt", "duplicate", "reorder"):
+                attr = f"{fault.kind}_fraction"
+                baseline = getattr(self.network, attr)
+                self.sim.call_at(
+                    fault.at, lambda f=fault, a=attr: self._set_fraction(a, f)
+                )
+                self.sim.call_at(
+                    fault.ends_at,
+                    lambda f=fault, a=attr, b=baseline: self._restore_fraction(a, b, f),
+                )
+            elif fault.kind == "slowdown":
+                self.sim.call_at(fault.at, lambda f=fault: self._slow(f))
+                self.sim.call_at(fault.ends_at, lambda f=fault: self._unslow(f))
+            else:  # pragma: no cover - FAULT_KINDS is closed
+                raise FaultError(f"unhandled fault kind {fault.kind!r}")
+
+        from ..resources.availability import ScriptedAvailability
+
+        for target, windows in sorted(outage_windows.items()):
+            peer = self.peers.get(target)
+            if peer is not None:
+                model = ScriptedAvailability(windows)
+                model.on_down(lambda p: self._log("crash", p.peer_id))
+                model.on_up(lambda p: self._log("restart", p.peer_id))
+                model.install(peer)
+                self.availability[target] = model
+            else:
+                # No Peer object — drive the network's liveness directly.
+                for at, duration in windows:
+                    self.sim.call_at(at, lambda t=target: self._down(t))
+                    if duration > 0:
+                        self.sim.call_at(at + duration, lambda t=target: self._up(t))
+        return self
+
+    # -- fault actions --------------------------------------------------------
+    def _log(self, action: str, detail: str) -> None:
+        self.log.append({"t": self.sim.now, "action": action, "detail": detail})
+
+    def _down(self, target: str) -> None:
+        self.network.set_online(target, False)
+        self._log("crash", target)
+
+    def _up(self, target: str) -> None:
+        self.network.set_online(target, True)
+        self._log("restart", target)
+
+    def _cut(self, index: int, fault) -> None:
+        self._active_cuts[index] = self.network.partition(
+            fault.targets, fault.targets_b
+        )
+        self._log("partition", fault.describe())
+
+    def _heal(self, index: int, fault) -> None:
+        cut_id = self._active_cuts.pop(index, None)
+        if cut_id is not None:
+            self.network.heal(cut_id)
+            self._log("heal", fault.describe())
+
+    def _set_fraction(self, attr: str, fault) -> None:
+        setattr(self.network, attr, fault.fraction)
+        self._log(fault.kind, f"p={fault.fraction:g}")
+
+    def _restore_fraction(self, attr: str, baseline: float, fault) -> None:
+        setattr(self.network, attr, baseline)
+        self._log(f"{fault.kind}-end", f"p={baseline:g}")
+
+    def _slow(self, fault) -> None:
+        for target in fault.targets:
+            self.network.set_speed_factor(target, fault.factor)
+            self._log("slowdown", f"{target} x{fault.factor:g}")
+
+    def _unslow(self, fault) -> None:
+        for target in fault.targets:
+            self.network.set_speed_factor(target, 1.0)
+            self._log("slowdown-end", target)
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def faults_injected(self) -> int:
+        """Number of fault *onsets* applied so far (heals/ends excluded)."""
+        onsets = {"crash", "partition", "corrupt", "duplicate", "reorder", "slowdown"}
+        return sum(1 for entry in self.log if entry["action"] in onsets)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "plan": self.plan.name,
+            "planned": len(self.plan),
+            "injected": self.faults_injected,
+            "kinds": self.plan.kinds(),
+            "log": list(self.log),
+        }

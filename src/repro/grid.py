@@ -82,6 +82,16 @@ class ConsumerGrid:
         jitter_fraction: float = 0.0,
         contention: bool = False,
         loss_fraction: float = 0.0,
+        corrupt_fraction: float = 0.0,
+        duplicate_fraction: float = 0.0,
+        reorder_fraction: float = 0.0,
+        heartbeat_interval: float = 60.0,
+        suspect_after_missed: int = 3,
+        backoff_base: Optional[float] = None,
+        backoff_max: float = 120.0,
+        speculation_threshold: float = 0.9,
+        speculation_age: Optional[float] = None,
+        fault_plan=None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -91,6 +101,9 @@ class ConsumerGrid:
             jitter_fraction=jitter_fraction,
             contention=contention,
             loss_fraction=loss_fraction,
+            corrupt_fraction=corrupt_fraction,
+            duplicate_fraction=duplicate_fraction,
+            reorder_fraction=reorder_fraction,
         )
         self.discovery = _make_discovery(discovery, query_window)
         self.registry = registry if registry is not None else global_registry()
@@ -110,6 +123,12 @@ class ConsumerGrid:
             self.discovery,
             retry_timeout=retry_timeout,
             retry_interval=retry_interval,
+            heartbeat_interval=heartbeat_interval,
+            suspect_after_missed=suspect_after_missed,
+            backoff_base=backoff_base,
+            backoff_max=backoff_max,
+            speculation_threshold=speculation_threshold,
+            speculation_age=speculation_age,
         )
 
         if isinstance(self.discovery, CentralIndexDiscovery):
@@ -137,6 +156,21 @@ class ConsumerGrid:
         if isinstance(self.discovery, FloodingDiscovery):
             self.network.random_overlay(degree=4)
         self.sim.run()  # settle publishes
+
+        # Chaos layer: scheduled *after* the settle so a plan's t=0 faults
+        # cannot fire during assembly, before any run is in flight.
+        self.fault_injector = None
+        if fault_plan is not None:
+            from .faults import FaultInjector
+
+            peers = {
+                "portal": self.portal,
+                "controller": self.controller_peer,
+                **self.worker_peers,
+            }
+            self.fault_injector = FaultInjector(
+                self.sim, self.network, fault_plan, peers=peers
+            ).schedule()
 
     def add_cluster_worker(
         self,
@@ -210,5 +244,9 @@ class ConsumerGrid:
                     f"run did not finish by t={run_until}; "
                     "increase the horizon or check churn settings"
                 )
-            return done.value
-        return self.sim.run(until=done)
+            report = done.value
+        else:
+            report = self.sim.run(until=done)
+        if self.fault_injector is not None:
+            report.recovery["faults"] = self.fault_injector.summary()
+        return report

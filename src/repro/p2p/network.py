@@ -13,7 +13,11 @@ This module models exactly that on top of the discrete-event kernel:
 * nodes can be taken offline (churn); messages to offline nodes are
   counted and dropped — reliability is the job of higher layers;
 * an optional *overlay graph* restricts which nodes are neighbours, which
-  is what flooding discovery walks.
+  is what flooding discovery walks;
+* fault hooks for the chaos layer (:mod:`repro.faults`): named partitions
+  that cut delivery between node groups, probabilistic message corruption
+  (detected by checksum at the receiver and discarded), duplication and
+  reordering, and per-node CPU speed factors for straggler injection.
 
 All behaviour is deterministic for a given simulator seed.
 """
@@ -83,6 +87,10 @@ class NetStats:
     delivered: int = 0
     dropped_offline: int = 0
     dropped_loss: int = 0
+    dropped_partition: int = 0
+    corrupted: int = 0
+    duplicated: int = 0
+    reordered: int = 0
     bytes_sent: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
 
@@ -104,18 +112,33 @@ class SimNetwork:
         jitter_fraction: float = 0.1,
         contention: bool = False,
         loss_fraction: float = 0.0,
+        corrupt_fraction: float = 0.0,
+        duplicate_fraction: float = 0.0,
+        reorder_fraction: float = 0.0,
     ):
-        if not 0.0 <= loss_fraction < 1.0:
-            raise NetworkError("loss_fraction must be in [0, 1)")
+        for name, frac in (
+            ("loss_fraction", loss_fraction),
+            ("corrupt_fraction", corrupt_fraction),
+            ("duplicate_fraction", duplicate_fraction),
+            ("reorder_fraction", reorder_fraction),
+        ):
+            if not 0.0 <= frac < 1.0:
+                raise NetworkError(f"{name} must be in [0, 1)")
         self.sim = sim
         self.jitter_fraction = jitter_fraction
         self.contention = contention
         self.loss_fraction = loss_fraction
+        self.corrupt_fraction = corrupt_fraction
+        self.duplicate_fraction = duplicate_fraction
+        self.reorder_fraction = reorder_fraction
         self._profiles: dict[str, NodeProfile] = {}
         self._handlers: dict[str, Callable[[Message], None]] = {}
         self._online: dict[str, bool] = {}
+        self._speed_factors: dict[str, float] = {}
         self._uplinks: dict[str, "object"] = {}
         self._downlinks: dict[str, "object"] = {}
+        self._cuts: dict[int, tuple[frozenset[str], frozenset[str]]] = {}
+        self._next_cut_id = 1
         self.overlay = nx.Graph()
         self.stats = NetStats()
 
@@ -160,6 +183,58 @@ class SimNetwork:
     def is_online(self, node_id: str) -> bool:
         self._require(node_id)
         return self._online[node_id]
+
+    # -- straggler injection ---------------------------------------------------
+    def set_speed_factor(self, node_id: str, factor: float) -> None:
+        """Scale a node's effective CPU speed (straggler slowdown).
+
+        ``factor`` multiplies the profile's ``cpu_flops`` wherever a
+        consumer asks via :meth:`speed_factor`; 1.0 restores full speed.
+        """
+        self._require(node_id)
+        if factor <= 0:
+            raise NetworkError("speed factor must be positive")
+        if factor == 1.0:
+            self._speed_factors.pop(node_id, None)
+        else:
+            self._speed_factors[node_id] = factor
+
+    def speed_factor(self, node_id: str) -> float:
+        return self._speed_factors.get(node_id, 1.0)
+
+    # -- partitions -----------------------------------------------------------
+    def partition(self, group_a, group_b) -> int:
+        """Cut delivery between two node groups; returns a cut id.
+
+        Messages whose endpoints straddle the cut are counted as
+        ``dropped_partition`` and never delivered until :meth:`heal`.
+        """
+        a = frozenset(group_a)
+        b = frozenset(group_b)
+        for node in a | b:
+            self._require(node)
+        if a & b:
+            raise NetworkError(f"partition groups overlap: {sorted(a & b)}")
+        if not a or not b:
+            raise NetworkError("partition groups must be non-empty")
+        cut_id = self._next_cut_id
+        self._next_cut_id += 1
+        self._cuts[cut_id] = (a, b)
+        return cut_id
+
+    def heal(self, cut_id: Optional[int] = None) -> None:
+        """Remove one partition cut (or all of them when ``cut_id`` is None)."""
+        if cut_id is None:
+            self._cuts.clear()
+        elif cut_id in self._cuts:
+            del self._cuts[cut_id]
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """True when any active cut separates nodes ``a`` and ``b``."""
+        for group_a, group_b in self._cuts.values():
+            if (a in group_a and b in group_b) or (a in group_b and b in group_a):
+                return True
+        return False
 
     # -- overlay -------------------------------------------------------------
     def add_edge(self, a: str, b: str) -> None:
@@ -211,28 +286,63 @@ class SimNetwork:
         if not self._online[message.src] or not self._online[message.dst]:
             self.stats.dropped_offline += 1
             return delay
+        if self.partitioned(message.src, message.dst):
+            self.stats.dropped_partition += 1
+            return delay
         if (
             self.loss_fraction > 0.0
             and self.sim.rng("net-loss").random() < self.loss_fraction
         ):
             self.stats.dropped_loss += 1
             return delay
+        if (
+            self.corrupt_fraction > 0.0
+            and self.sim.rng("net-corrupt").random() < self.corrupt_fraction
+        ):
+            # Garbled in flight; the receiver's checksum catches it and the
+            # frame is discarded — recovery is the job of higher layers.
+            self.stats.corrupted += 1
+            return delay
+        if (
+            self.reorder_fraction > 0.0
+            and self.sim.rng("net-reorder").random() < self.reorder_fraction
+        ):
+            # Held back long enough to arrive behind later traffic.
+            self.stats.reordered += 1
+            delay *= 1.0 + float(self.sim.rng("net-reorder").uniform(1.0, 3.0))
 
         def deliver() -> None:
-            # The destination may have gone offline while in flight.
+            # The destination may have gone offline (or been partitioned
+            # away) while in flight.
             if not self._online.get(message.dst, False):
                 self.stats.dropped_offline += 1
+                return
+            if self.partitioned(message.src, message.dst):
+                self.stats.dropped_partition += 1
                 return
             self.stats.delivered += 1
             self._handlers[message.dst](message)
 
+        duplicated = (
+            self.duplicate_fraction > 0.0
+            and self.sim.rng("net-dup").random() < self.duplicate_fraction
+        )
+        if duplicated:
+            self.stats.duplicated += 1
         if self.contention:
             self.sim.process(
                 self._contended_delivery(message, deliver),
                 name="net-transfer",
             )
+            if duplicated:
+                self.sim.process(
+                    self._contended_delivery(message, deliver),
+                    name="net-transfer-dup",
+                )
         else:
             self.sim.call_at(self.sim.now + delay, deliver)
+            if duplicated:
+                self.sim.call_at(self.sim.now + delay * 1.5, deliver)
         return delay
 
     def _link(self, table: dict, node_id: str) -> "Resource":

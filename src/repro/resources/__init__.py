@@ -21,6 +21,7 @@ from .availability import (
     AvailabilityStats,
     PoissonChurn,
     ScreensaverCycle,
+    ScriptedAvailability,
     fleet_availability,
 )
 from .errors import AuthenticationError, QueueError, ResourceError
@@ -44,6 +45,7 @@ __all__ = [
     "QueueError",
     "ResourceError",
     "ScreensaverCycle",
+    "ScriptedAvailability",
     "UsageRecord",
     "VirtualAccountManager",
     "fleet_availability",

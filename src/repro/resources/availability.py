@@ -26,6 +26,7 @@ __all__ = [
     "AlwaysOn",
     "PoissonChurn",
     "ScreensaverCycle",
+    "ScriptedAvailability",
 ]
 
 
@@ -176,6 +177,60 @@ class ScreensaverCycle(AvailabilityModel):
                 self._go_up(peer)
 
         sim.process(cycle(sim), name=f"screensaver/{peer.peer_id}")
+
+
+class ScriptedAvailability(AvailabilityModel):
+    """Outages at scripted absolute times (the chaos layer's crash model).
+
+    ``windows`` is a list of ``(start, duration)`` pairs in absolute
+    simulation time; ``duration <= 0`` means the peer never comes back.
+    Unlike the stochastic models this one is a *script*: the fault
+    injector uses it so that injected crashes flow through the same
+    stats/listener machinery as organic churn.
+    """
+
+    def __init__(self, windows: list[tuple[float, float]]):
+        super().__init__()
+        self.windows = sorted((float(s), float(d)) for s, d in windows)
+        for (s, d), (s2, _d2) in zip(self.windows, self.windows[1:]):
+            if d <= 0 or s + d > s2:
+                raise ResourceError(
+                    f"outage windows must be finite and non-overlapping "
+                    f"(({s}, {d}) then start {s2})"
+                )
+        if any(s < 0 for s, _ in self.windows):
+            raise ResourceError("outage windows must start at t >= 0")
+
+    def expected_availability(self) -> float:
+        if not self.windows:
+            return 1.0
+        last_start, last_dur = self.windows[-1]
+        if last_dur <= 0:
+            return 0.0
+        horizon = last_start + last_dur
+        down = sum(d for _s, d in self.windows)
+        return max(0.0, 1.0 - down / horizon) if horizon > 0 else 1.0
+
+    def install(self, peer: Peer) -> None:
+        sim = peer.sim
+        self.stats.sessions += 1
+
+        def script(sim: Simulator):
+            last = sim.now
+            for start, duration in self.windows:
+                if start < sim.now:
+                    continue  # scheduled in the past: skip, don't fire late
+                yield sim.timeout(start - sim.now)
+                self.stats.online_seconds += sim.now - last
+                self._go_down(peer)
+                if duration <= 0:
+                    return  # permanent crash
+                yield sim.timeout(duration)
+                self.stats.offline_seconds += duration
+                self._go_up(peer)
+                last = sim.now
+
+        sim.process(script(sim), name=f"scripted/{peer.peer_id}")
 
 
 def fleet_availability(models: list[AvailabilityModel]) -> float:

@@ -7,11 +7,14 @@ download.
 * :class:`TrianaService` — the worker daemon (server component)
 * :class:`TrianaController` — the scheduling manager (client + command
   process components)
+* :class:`HeartbeatFailureDetector` — suspicion + worker-health scoring
+  behind the controller's adaptive recovery (see docs/robustness.md)
 * :func:`partition_for_group` — splits a graph around its policy group
 """
 
 from .cluster import ClusterTrianaService
 from .controller import RunReport, TrianaController
+from .detector import HeartbeatFailureDetector, WorkerHealth
 from .errors import DeploymentError, MigrationError, SchedulingError, ServiceError
 from .monitor import ProgressEvent, ProgressMonitor, TextProgressView, WapProgressView
 from .partition import GroupPartition, find_distributable_group, partition_for_group
@@ -22,6 +25,7 @@ __all__ = [
     "DeploymentError",
     "DeploymentSpec",
     "GroupPartition",
+    "HeartbeatFailureDetector",
     "MigrationError",
     "ProgressEvent",
     "ProgressMonitor",
@@ -33,6 +37,7 @@ __all__ = [
     "TrianaService",
     "WORKER_SERVICE_KIND",
     "WapProgressView",
+    "WorkerHealth",
     "find_distributable_group",
     "partition_for_group",
 ]

@@ -16,10 +16,21 @@ Distribution policies (§3.3):
   group is distributed onto a separate resource and data is passed
   between them": a pipelined chain with stage-to-stage pipes.
 
-Churn recovery: results that fail to return within ``retry_timeout`` are
-re-dispatched to the next live replica (parallel policy) — the paper's
-"simply distributing the code to as many computers that are available
-until the results are being returned with the specified time interval".
+Churn recovery (parallel policy) is two-tier:
+
+* **heartbeat suspicion** — workers emit ``triana-heartbeat`` while a
+  run is in flight; a worker silent for ``suspect_after_missed``
+  intervals is suspected and its outstanding iterations are
+  re-dispatched immediately (see :mod:`repro.service.detector`);
+* **timeout fallback** — iterations older than ``retry_timeout`` are
+  re-dispatched regardless, the paper's "simply distributing the code to
+  as many computers that are available until the results are being
+  returned with the specified time interval".
+
+Repeated re-dispatches of one iteration back off exponentially (with
+deterministic jitter from the ``recovery-backoff`` stream), and once
+most of a batch is done the slowest stragglers are speculatively
+duplicated — first result wins; workers de-duplicate idempotently.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from ..p2p.discovery import DiscoveryService
 from ..p2p.network import Message
 from ..p2p.peer import Peer
 from ..simkernel import Event, Simulator
+from .detector import HeartbeatFailureDetector
 from .errors import DeploymentError, MigrationError, SchedulingError
 from .partition import GroupPartition, find_distributable_group, partition_for_group
 from .worker import WORKER_SERVICE_KIND, DeploymentSpec
@@ -61,6 +73,11 @@ class RunReport:
     messages_sent: int = 0
     bytes_sent: int = 0
     messages_dropped: int = 0
+    messages_corrupted: int = 0
+    messages_duplicated: int = 0
+    messages_reordered: int = 0
+    #: failure-detector / recovery summary (see docs/robustness.md)
+    recovery: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -69,6 +86,11 @@ class _Outstanding:
     base_replica: int
     dispatched_at: float
     attempts: int = 0
+    #: replica index currently responsible for this iteration
+    replica: int = 0
+    #: earliest time another re-dispatch is allowed (exponential backoff)
+    retry_at: float = 0.0
+    speculated: bool = False
 
 
 class TrianaController:
@@ -81,6 +103,12 @@ class TrianaController:
         retry_timeout: float = 900.0,
         retry_interval: float = 300.0,
         deploy_timeout: float = 600.0,
+        heartbeat_interval: float = 60.0,
+        suspect_after_missed: int = 3,
+        backoff_base: Optional[float] = None,
+        backoff_max: float = 120.0,
+        speculation_threshold: float = 0.9,
+        speculation_age: Optional[float] = None,
     ):
         self.peer = peer
         self.sim: Simulator = peer.sim
@@ -88,6 +116,24 @@ class TrianaController:
         self.retry_timeout = retry_timeout
         self.retry_interval = retry_interval
         self.deploy_timeout = deploy_timeout
+        #: first-retry backoff; defaults to ``retry_interval`` when unset
+        self.backoff_base = retry_interval if backoff_base is None else backoff_base
+        self.backoff_max = backoff_max
+        #: speculate once this fraction of the batch is done (>=1 disables)
+        self.speculation_threshold = speculation_threshold
+        #: minimum age of an outstanding iteration before speculation
+        self.speculation_age = (
+            2.0 * heartbeat_interval if speculation_age is None else speculation_age
+        )
+        self.detector = HeartbeatFailureDetector(
+            heartbeat_interval=heartbeat_interval,
+            suspect_after_missed=suspect_after_missed,
+        )
+        #: deployment ids of the run in flight (stale-result guard)
+        self._valid_deps: set[str] = set()
+        self._outstanding_ref: Optional[dict[int, "_Outstanding"]] = None
+        self._duplicate_results = 0
+        self._stale_results = 0
         self._ack_events: dict[str, Event] = {}
         self._result_events: dict[int, Event] = {}
         self._checkpoint_events: dict[str, Event] = {}
@@ -104,6 +150,7 @@ class TrianaController:
         self._reparam_events: dict[tuple[str, str], Event] = {}
         peer.on("deploy-ack", self._on_ack)
         peer.on("group-result", self._on_result)
+        peer.on("triana-heartbeat", self._on_heartbeat)
         peer.on("checkpoint-reply", self._on_checkpoint_reply)
         peer.on("drain-reply", self._on_drain_reply)
         peer.on("reparam-ack", self._on_reparam_ack)
@@ -134,15 +181,31 @@ class TrianaController:
             else:
                 ev.fail(DeploymentError(f"{deployment_id}: {error}"))
 
+    def _on_heartbeat(self, message: Message) -> None:
+        worker, _iterations_done = message.payload
+        self.detector.observe_heartbeat(worker, self.sim.now)
+
     def _on_result(self, message: Message) -> None:
-        _dep_id, iteration, outputs = message.payload
+        dep_id, iteration, outputs = message.payload
+        if self._valid_deps and dep_id not in self._valid_deps:
+            # A straggler from a *previous* run whose iteration number
+            # happens to collide with this run's: must not be accepted.
+            self._stale_results += 1
+            return
+        self.detector.observe_result(message.src, self.sim.now)
         ev = self._result_events.get(iteration)
-        if ev is not None and not ev.triggered:
-            if self._active_dispatch is not None:
-                policy, replica_of = self._active_dispatch
-                if iteration in replica_of:
-                    policy.completed(replica_of.pop(iteration))
-            ev.succeed(outputs)
+        if ev is None or ev.triggered:
+            # Redispatch/speculation race or network duplicate: first
+            # result won already, later copies are dropped idempotently.
+            self._duplicate_results += 1
+            return
+        if self._active_dispatch is not None:
+            policy, replica_of = self._active_dispatch
+            if iteration in replica_of:
+                policy.completed(replica_of.pop(iteration))
+        if self._outstanding_ref is not None:
+            self._outstanding_ref.pop(iteration, None)
+        ev.succeed(outputs)
 
     def _on_checkpoint_reply(self, message: Message) -> None:
         deployment_id, state = message.payload
@@ -239,7 +302,16 @@ class TrianaController:
     def _run_proc(self, graph, iterations, workers, probes, dispatch="round_robin"):
         start = self.sim.now
         net = self.peer.network.stats
-        net_before = (net.sent, net.bytes_sent, net.dropped_offline + net.dropped_loss)
+        net_before = (
+            net.sent,
+            net.bytes_sent,
+            net.dropped_offline + net.dropped_loss,
+            net.corrupted,
+            net.duplicated,
+            net.reordered,
+        )
+        dup_before = self._duplicate_results
+        stale_before = self._stale_results
         group = find_distributable_group(graph)
         if group is None:
             report = self._run_local(graph, iterations, probes)
@@ -274,6 +346,8 @@ class TrianaController:
         deploy_time = self.sim.now - deploy_start
         for dep_id, worker in placements.items():
             self._notify("deployed", deployment=dep_id, worker=worker)
+            self.detector.watch(worker, self.sim.now)
+        self._valid_deps = set(placements)
 
         # -- dispatch every iteration's inputs -------------------------------
         self._result_events = {it: self.sim.event() for it in range(iterations)}
@@ -301,7 +375,10 @@ class TrianaController:
                 replica = policy.choose(it)
                 replica_of[it] = replica
                 outstanding[it] = _Outstanding(
-                    inputs=inputs, base_replica=replica, dispatched_at=self.sim.now
+                    inputs=inputs,
+                    base_replica=replica,
+                    dispatched_at=self.sim.now,
+                    replica=replica,
                 )
                 self._dispatch(replica_hosts[replica], dep_ids[replica], it, inputs)
             else:
@@ -310,13 +387,19 @@ class TrianaController:
 
         # -- churn recovery (parallel farms only) -----------------------------
         stop_retry = {"done": False}
-        redispatch_count = {"n": 0}
+        redispatch_count = {"n": 0, "suspicion": 0, "timeout": 0, "speculative": 0}
         if group.policy == "parallel":
+            self._outstanding_ref = outstanding
             self.sim.process(
-                self._retry_loop(
-                    outstanding, dep_ids, replica_hosts, stop_retry, redispatch_count
+                self._recovery_loop(
+                    outstanding,
+                    dep_ids,
+                    replica_hosts,
+                    stop_retry,
+                    redispatch_count,
+                    iterations,
                 ),
-                name="retry-monitor",
+                name="recovery-monitor",
             )
 
         # -- collect results in iteration order and feed downstream ------------
@@ -333,7 +416,18 @@ class TrianaController:
         stop_retry["done"] = True
         self._result_events = {}
         self._active_dispatch = None
+        self._outstanding_ref = None
+        self._valid_deps = set()
 
+        recovery = dict(self.detector.snapshot(self.sim.now))
+        recovery.update(
+            redispatches=redispatch_count["n"],
+            suspicion_redispatches=redispatch_count["suspicion"],
+            timeout_redispatches=redispatch_count["timeout"],
+            speculative=redispatch_count["speculative"],
+            duplicate_results=self._duplicate_results - dup_before,
+            stale_results=self._stale_results - stale_before,
+        )
         self._notify("run-finished", makespan=self.sim.now - start)
         return RunReport(
             iterations=iterations,
@@ -347,6 +441,10 @@ class TrianaController:
             messages_sent=net.sent - net_before[0],
             bytes_sent=net.bytes_sent - net_before[1],
             messages_dropped=(net.dropped_offline + net.dropped_loss) - net_before[2],
+            messages_corrupted=net.corrupted - net_before[3],
+            messages_duplicated=net.duplicated - net_before[4],
+            messages_reordered=net.reordered - net_before[5],
+            recovery=recovery,
         )
 
     # -- local fallback -------------------------------------------------------------
@@ -394,6 +492,7 @@ class TrianaController:
                         external_inputs=tuple(group.input_map),
                         output_spec=tuple(group.output_map),
                         forward=None,
+                        heartbeat_interval=self.detector.heartbeat_interval,
                     ),
                 )
             )
@@ -434,6 +533,7 @@ class TrianaController:
                         external_inputs=external_inputs,
                         output_spec=output_spec,
                         forward=forward,
+                        heartbeat_interval=self.detector.heartbeat_interval,
                     ),
                 )
             )
@@ -542,6 +642,9 @@ class TrianaController:
             paused=True,
         )
         yield from self._deploy_all([(new_worker, new_spec)])
+        if self._valid_deps:
+            # Results from the new home belong to the run in flight.
+            self._valid_deps.add(new_dep_id)
 
         if stage_index > 0:
             pred_worker, pred_spec = self._last_chain[stage_index - 1]
@@ -582,27 +685,111 @@ class TrianaController:
             worker, "group-exec", payload=(deployment_id, iteration, inputs), size_bytes=size
         )
 
-    def _retry_loop(self, outstanding, dep_ids, replica_hosts, stop, counter):
+    def _recovery_loop(
+        self, outstanding, dep_ids, replica_hosts, stop, counter, iterations
+    ):
+        """Suspicion-driven + timeout-fallback redispatch, plus speculation.
+
+        Ticks at ``min(retry_interval, heartbeat_interval)`` so a heartbeat
+        suspicion is acted on within one beat of the detector deadline —
+        the seed's retry loop could leave a dead iteration waiting up to
+        ``retry_timeout + retry_interval``.
+        """
+        tick = min(self.retry_interval, self.detector.heartbeat_interval)
+        hb = self.detector.heartbeat_interval
+        # Renew worker heartbeat leases well inside their 10-beat window.
+        renew_every = max(1, int(4 * hb / tick))
+        rng = self.sim.rng("recovery-backoff")
+        ticks = 0
         while not stop["done"]:
-            yield self.sim.timeout(self.retry_interval)
+            yield self.sim.timeout(tick)
+            if stop["done"]:
+                return
             now = self.sim.now
-            for it, rec in list(outstanding.items()):
+            ticks += 1
+            if ticks % renew_every == 0:
+                for host in sorted(set(replica_hosts)):
+                    self.peer.send(
+                        host,
+                        "triana-hb-renew",
+                        payload=(self.peer.peer_id, hb),
+                        size_bytes=48,
+                    )
+            self.detector.check(now)
+            done = iterations - len(outstanding)
+            for it, rec in sorted(outstanding.items()):
                 ev = self._result_events.get(it)
                 if ev is None or ev.triggered:
                     outstanding.pop(it, None)
                     continue
-                if now - rec.dispatched_at < self.retry_timeout:
-                    continue
-                rec.attempts += 1
-                # Prefer replicas that are currently online.
-                k = len(dep_ids)
-                for offset in range(1, k + 1):
-                    idx = (rec.base_replica + rec.attempts + offset - 1) % k
-                    if self.peer.network.is_online(replica_hosts[idx]):
-                        break
-                else:
-                    idx = (rec.base_replica + rec.attempts) % k
-                rec.dispatched_at = now
-                counter["n"] += 1
-                self._notify("redispatch", iteration=it, worker=replica_hosts[idx])
-                self._dispatch(replica_hosts[idx], dep_ids[idx], it, rec.inputs)
+                host = replica_hosts[rec.replica]
+                aged = now - rec.dispatched_at >= self.retry_timeout
+                suspected = not self.detector.is_alive(host, now)
+                if suspected or aged:
+                    if now < rec.retry_at:
+                        continue  # backing off after a recent redispatch
+                    reason = "suspicion" if suspected else "timeout"
+                    self._redispatch(
+                        rec, it, dep_ids, replica_hosts, now, rng, counter, reason
+                    )
+                elif (
+                    self.speculation_threshold < 1.0
+                    and done >= self.speculation_threshold * iterations
+                    and not rec.speculated
+                    and now - rec.dispatched_at >= self.speculation_age
+                ):
+                    self._speculate(rec, it, dep_ids, replica_hosts, now, counter)
+
+    def _redispatch(
+        self, rec, it, dep_ids, replica_hosts, now, rng, counter, reason
+    ):
+        rec.attempts += 1
+        idx = self._pick_replica(rec, replica_hosts, now)
+        rec.replica = idx
+        rec.dispatched_at = now
+        backoff = min(self.backoff_base * 2 ** (rec.attempts - 1), self.backoff_max)
+        rec.retry_at = now + backoff * (1.0 + 0.25 * float(rng.random()))
+        counter["n"] += 1
+        counter[reason] += 1
+        self._notify(
+            "redispatch", iteration=it, worker=replica_hosts[idx], reason=reason
+        )
+        self._dispatch(replica_hosts[idx], dep_ids[idx], it, rec.inputs)
+
+    def _pick_replica(self, rec, replica_hosts, now) -> int:
+        """Next target: prefer online + healthy, then merely online."""
+        k = len(replica_hosts)
+        online_idx = None
+        for offset in range(k):
+            idx = (rec.base_replica + rec.attempts + offset) % k
+            host = replica_hosts[idx]
+            if not self.peer.network.is_online(host):
+                continue
+            if online_idx is None:
+                online_idx = idx
+            if self.detector.is_dispatchable(host, now):
+                return idx
+        if online_idx is not None:
+            return online_idx
+        return (rec.base_replica + rec.attempts) % k
+
+    def _speculate(self, rec, it, dep_ids, replica_hosts, now, counter) -> None:
+        """Duplicate a straggling iteration on a second healthy replica.
+
+        First result wins (``_on_result`` drops the loser); the worker
+        side de-duplicates, so this is safe even if the original is alive.
+        """
+        k = len(replica_hosts)
+        for offset in range(1, k):
+            idx = (rec.replica + offset) % k
+            host = replica_hosts[idx]
+            if self.peer.network.is_online(host) and self.detector.is_dispatchable(
+                host, now
+            ):
+                break
+        else:
+            return  # no second replica worth speculating on
+        rec.speculated = True
+        counter["speculative"] += 1
+        self._notify("speculate", iteration=it, worker=replica_hosts[idx])
+        self._dispatch(replica_hosts[idx], dep_ids[idx], it, rec.inputs)

@@ -1,0 +1,158 @@
+"""Heartbeat failure detection and worker-health bookkeeping.
+
+The seed controller only noticed a dead worker when an iteration blew
+past ``retry_timeout`` — up to ``retry_timeout + retry_interval`` of dead
+air.  This module closes that gap with the standard peer-group recipe
+(cf. "Exploiting peer group concept for adaptive and highly available
+services"): workers emit periodic ``triana-heartbeat`` messages; the
+controller *suspects* a worker after ``suspect_after_missed`` silent
+intervals and recovers immediately instead of waiting out the timeout.
+
+On top of suspicion the :class:`HeartbeatFailureDetector` keeps an
+adaptive per-worker **health score** in ``[0, 1]``: suspicion and deploy
+failures drain it, delivered results replenish it.  A worker whose score
+falls below ``quarantine_threshold`` is quarantined (no dispatches) for
+``quarantine_window`` seconds; a worker quarantined ``blacklist_after``
+times is blacklisted for the rest of the run.  Scores, suspicion counts
+and quarantine state all surface in the run report's ``recovery``
+section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["WorkerHealth", "HeartbeatFailureDetector"]
+
+
+@dataclass
+class WorkerHealth:
+    """Mutable per-worker record the detector maintains."""
+
+    last_heartbeat: float = 0.0
+    score: float = 1.0
+    suspected: bool = False
+    suspicions: int = 0
+    heartbeats: int = 0
+    results: int = 0
+    quarantined_until: float = 0.0
+    quarantines: int = 0
+    blacklisted: bool = False
+
+
+class HeartbeatFailureDetector:
+    """Suspicion + health scoring over a watched set of workers."""
+
+    def __init__(
+        self,
+        heartbeat_interval: float = 60.0,
+        suspect_after_missed: int = 3,
+        quarantine_threshold: float = 0.4,
+        quarantine_window: float = 300.0,
+        blacklist_after: int = 3,
+        suspicion_penalty: float = 0.3,
+        result_reward: float = 0.05,
+    ):
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if suspect_after_missed < 1:
+            raise ValueError("suspect_after_missed must be >= 1")
+        self.heartbeat_interval = heartbeat_interval
+        self.suspect_after_missed = suspect_after_missed
+        self.quarantine_threshold = quarantine_threshold
+        self.quarantine_window = quarantine_window
+        self.blacklist_after = blacklist_after
+        self.suspicion_penalty = suspicion_penalty
+        self.result_reward = result_reward
+        self.workers: dict[str, WorkerHealth] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+    def watch(self, worker: str, now: float) -> None:
+        """Start (or refresh) watching a worker; grants a full grace period."""
+        rec = self.workers.setdefault(worker, WorkerHealth())
+        rec.last_heartbeat = now
+        rec.suspected = False
+
+    # -- observations ---------------------------------------------------------
+    def observe_heartbeat(self, worker: str, now: float) -> None:
+        rec = self.workers.get(worker)
+        if rec is None:
+            return  # heartbeat from a worker we never placed work on
+        rec.heartbeats += 1
+        rec.last_heartbeat = now
+        if rec.suspected:
+            # Resurrection: trust returns, but the scar (score) remains.
+            rec.suspected = False
+
+    def observe_result(self, worker: str, now: float) -> None:
+        rec = self.workers.get(worker)
+        if rec is None:
+            return
+        rec.results += 1
+        rec.last_heartbeat = now  # a result is as good as a heartbeat
+        rec.suspected = False
+        rec.score = min(1.0, rec.score + self.result_reward)
+
+    def penalise(self, worker: str, now: float, amount: float) -> None:
+        """External penalty hook (deploy failures etc.)."""
+        rec = self.workers.setdefault(worker, WorkerHealth())
+        self._drain(rec, now, amount)
+
+    # -- the periodic check ---------------------------------------------------
+    def check(self, now: float) -> list[str]:
+        """Mark workers whose heartbeats went silent; returns new suspects."""
+        deadline = self.suspect_after_missed * self.heartbeat_interval
+        fresh: list[str] = []
+        for worker, rec in sorted(self.workers.items()):
+            if rec.suspected or rec.blacklisted:
+                continue
+            if now - rec.last_heartbeat >= deadline:
+                rec.suspected = True
+                rec.suspicions += 1
+                self._drain(rec, now, self.suspicion_penalty)
+                fresh.append(worker)
+        return fresh
+
+    def _drain(self, rec: WorkerHealth, now: float, amount: float) -> None:
+        rec.score = max(0.0, rec.score - amount)
+        if rec.score < self.quarantine_threshold and now >= rec.quarantined_until:
+            rec.quarantined_until = now + self.quarantine_window
+            rec.quarantines += 1
+            if rec.quarantines >= self.blacklist_after:
+                rec.blacklisted = True
+
+    # -- queries --------------------------------------------------------------
+    def is_alive(self, worker: str, now: float) -> bool:
+        """Not currently suspected (unknown workers are presumed alive)."""
+        rec = self.workers.get(worker)
+        return rec is None or not rec.suspected
+
+    def is_dispatchable(self, worker: str, now: float) -> bool:
+        """Suitable as a (re)dispatch target right now."""
+        rec = self.workers.get(worker)
+        if rec is None:
+            return True
+        return (
+            not rec.suspected
+            and not rec.blacklisted
+            and now >= rec.quarantined_until
+        )
+
+    # -- reporting ------------------------------------------------------------
+    def snapshot(self, now: float) -> dict[str, Any]:
+        return {
+            "suspected": {
+                w: r.suspicions for w, r in self.workers.items() if r.suspicions
+            },
+            "quarantined": sorted(
+                w
+                for w, r in self.workers.items()
+                if now < r.quarantined_until or r.blacklisted
+            ),
+            "blacklisted": sorted(
+                w for w, r in self.workers.items() if r.blacklisted
+            ),
+            "health": {w: round(r.score, 3) for w, r in self.workers.items()},
+            "heartbeats": sum(r.heartbeats for r in self.workers.values()),
+        }

@@ -58,6 +58,11 @@ class DeploymentSpec:
         Deploy in a buffering state: arriving iterations accumulate until
         a ``triana-resume`` message delivers (possibly migrated) unit
         state and any drained leftovers.  Used by chain migration.
+    heartbeat_interval:
+        When positive, the worker emits ``triana-heartbeat`` messages to
+        the controller every this-many seconds while its lease is live
+        (the controller renews leases for the duration of a run).  0
+        disables heartbeats for this deployment.
     """
 
     deployment_id: str
@@ -67,6 +72,7 @@ class DeploymentSpec:
     output_spec: tuple[tuple[str, int], ...]
     forward: Optional[tuple[str, str]] = None
     paused: bool = False
+    heartbeat_interval: float = 0.0
 
 
 @dataclass
@@ -78,6 +84,10 @@ class _Deployment:
     paused: bool = False
     backlog: list = field(default_factory=list)
     forward_override: Optional[tuple[str, str]] = None
+    #: iterations queued or executing (duplicate ``group-exec`` dedup)
+    pending: set = field(default_factory=set)
+    #: recently shipped outputs by iteration, for idempotent re-ship
+    shipped: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -87,6 +97,9 @@ class ServiceStats:
     iterations: int = 0
     busy_seconds: float = 0.0
     results_sent: int = 0
+    heartbeats_sent: int = 0
+    duplicate_execs_dropped: int = 0
+    cached_reships: int = 0
 
 
 class TrianaService:
@@ -112,6 +125,12 @@ class TrianaService:
         self.deployments: dict[str, _Deployment] = {}
         self.stats = ServiceStats()
         self._tombstones: dict[str, tuple[str, str]] = {}
+        #: bounded per-deployment result cache (idempotent re-ship)
+        self.result_cache_size = 256
+        self._hb_interval = 0.0
+        self._hb_lease_until = 0.0
+        self._hb_controllers: set[str] = set()
+        self._hb_running = False
         peer.on("triana-deploy", self._on_deploy)
         peer.on("group-exec", self._on_exec)
         peer.on("triana-checkpoint", self._on_checkpoint)
@@ -119,6 +138,7 @@ class TrianaService:
         peer.on("triana-drain", self._on_drain)
         peer.on("triana-resume", self._on_resume)
         peer.on("triana-reparam", self._on_reparam)
+        peer.on("triana-hb-renew", self._on_hb_renew)
 
     # -- advertisement -----------------------------------------------------------
     def advertisement(self) -> Advertisement:
@@ -135,9 +155,56 @@ class TrianaService:
             },
         )
 
+    # -- heartbeats ---------------------------------------------------------------
+    #: leases last this many beats past the latest deploy/renewal
+    HB_LEASE_BEATS = 10
+
+    def _ensure_heartbeat(self, controller: str, interval: float) -> None:
+        """Start (or extend) the heartbeat lease toward ``controller``.
+
+        The loop is *leased*, not perpetual: it stops ``HB_LEASE_BEATS``
+        intervals after the last deploy or ``triana-hb-renew``, so an idle
+        grid's event queue still drains.  Controllers renew the lease for
+        as long as a run is in flight.
+        """
+        if interval <= 0:
+            return
+        self._hb_interval = interval
+        self._hb_controllers.add(controller)
+        self._hb_lease_until = max(
+            self._hb_lease_until, self.sim.now + self.HB_LEASE_BEATS * interval
+        )
+        if not self._hb_running:
+            self._hb_running = True
+            self.sim.process(
+                self._heartbeat_loop(), name=f"heartbeat/{self.peer.peer_id}"
+            )
+
+    def _on_hb_renew(self, message: Message) -> None:
+        controller, interval = message.payload
+        self._ensure_heartbeat(controller, float(interval))
+
+    def _heartbeat_loop(self):
+        # First beat one interval in: deploys get a quiet network, and the
+        # detector's watch() grace covers the gap.
+        yield self.sim.timeout(self._hb_interval)
+        while self.sim.now < self._hb_lease_until:
+            if self.peer.online:
+                for controller in sorted(self._hb_controllers):
+                    self.stats.heartbeats_sent += 1
+                    self.peer.send(
+                        controller,
+                        "triana-heartbeat",
+                        payload=(self.peer.peer_id, self.stats.iterations),
+                        size_bytes=48,
+                    )
+            yield self.sim.timeout(self._hb_interval)
+        self._hb_running = False
+
     # -- deployment --------------------------------------------------------------
     def _on_deploy(self, message: Message) -> None:
         spec: DeploymentSpec = message.payload
+        self._ensure_heartbeat(spec.controller, spec.heartbeat_interval)
         if spec.deployment_id in self.deployments:
             # Duplicate deploy (controller retry after a lost ack): re-ack.
             self.peer.send(
@@ -207,6 +274,17 @@ class TrianaService:
                     size_bytes=message.size_bytes,
                 )
             return
+        if iteration in dep.shipped:
+            # Already computed and shipped: re-ship the cached outputs so a
+            # redispatch after a lost result converges without re-execution.
+            self.stats.cached_reships += 1
+            self._ship(dep, iteration, dep.shipped[iteration])
+            return
+        if iteration in dep.pending:
+            # Queued or executing right now: a second copy would double-count.
+            self.stats.duplicate_execs_dropped += 1
+            return
+        dep.pending.add(iteration)
         if dep.paused:
             dep.backlog.append((iteration, inputs))
         else:
@@ -214,9 +292,15 @@ class TrianaService:
 
     def _exec_loop(self, dep: _Deployment):
         """Serial execution of queued iterations at modelled CPU speed."""
-        speed = self.peer.profile.cpu_flops * self.efficiency
         while True:
             iteration, inputs = yield dep.queue.get()
+            # Speed is re-read per iteration: the chaos layer's straggler
+            # fault scales it mid-run via SimNetwork.set_speed_factor.
+            speed = (
+                self.peer.profile.cpu_flops
+                * self.efficiency
+                * self.peer.network.speed_factor(self.peer.peer_id)
+            )
             external = {
                 key: value
                 for key, value in zip(dep.spec.external_inputs, inputs)
@@ -229,14 +313,20 @@ class TrianaService:
             self.stats.iterations += 1
             dep.iterations_done += 1
             outputs = [outputs_map[t][n] for t, n in dep.spec.output_spec]
+            dep.pending.discard(iteration)
             self._ship(dep, iteration, outputs)
 
     def _ship(self, dep: _Deployment, iteration: int, outputs: list[Any]) -> None:
+        # Cache before the online check: if the ship is lost to churn, a
+        # later duplicate group-exec re-ships from here without recompute.
+        dep.shipped[iteration] = outputs
+        if len(dep.shipped) > self.result_cache_size:
+            del dep.shipped[min(dep.shipped)]
         size = sum(
             v.payload_nbytes() if hasattr(v, "payload_nbytes") else 64 for v in outputs
         )
         if not self.peer.online:
-            return  # churned away mid-compute; controller's timeout recovers
+            return  # churned away mid-compute; controller recovers
         self.stats.results_sent += 1
         forward = dep.forward_override or dep.spec.forward
         if forward is None:
