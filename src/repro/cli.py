@@ -114,6 +114,10 @@ def _cmd_run(args) -> int:
     graph = load_graph_text(text, args.from_format)
     probes = tuple(args.probe or ())
     if args.workers == 0:
+        if args.trace_out:
+            print("error: --trace-out needs a simulated grid (--workers > 0)",
+                  file=sys.stderr)
+            return 1
         engine = LocalEngine(graph)
         attached = [engine.attach_probe(p) for p in probes]
         engine.run(iterations=args.iterations)
@@ -139,8 +143,13 @@ def _cmd_run(args) -> int:
         discovery=args.discovery,
     )
     report = grid.run(
-        graph, iterations=args.iterations, probes=probes, dispatch=args.dispatch
+        graph, iterations=args.iterations, probes=probes, dispatch=args.dispatch,
+        trace_out=args.trace_out,
     )
+    if args.trace_out:
+        summary = report.tracing
+        print(f"trace written to {args.trace_out} "
+              f"({summary.get('spans', 0)} spans, {summary.get('events', 0)} events)")
     print(render_kv(
         [
             ("mode", f"simulated grid ({args.workers} workers, "
@@ -195,6 +204,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("round_robin", "weighted"))
     p_run.add_argument("--probe", action="append",
                        help="task name to observe (repeatable)")
+    p_run.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a run trace (.json = Chrome/Perfetto, "
+                            ".jsonl = event log, else text timeline); "
+                            "grid mode only")
     p_run.add_argument("--from-format", default="auto",
                        choices=("auto", *FORMATS))
     p_run.set_defaults(fn=_cmd_run)

@@ -129,10 +129,12 @@ class FaultPlan:
     name: str = "fault-plan"
 
     def add(self, fault: Fault) -> "FaultPlan":
+        """Append one fault; returns ``self`` for chaining."""
         self.faults.append(fault)
         return self
 
     def extend(self, faults: Sequence[Fault]) -> "FaultPlan":
+        """Append several faults at once; returns ``self`` for chaining."""
         self.faults.extend(faults)
         return self
 
@@ -148,6 +150,7 @@ class FaultPlan:
         return max((f.ends_at for f in self.faults), default=0.0)
 
     def kinds(self) -> dict[str, int]:
+        """Histogram of the plan's fault kinds (for logs and assertions)."""
         counts: dict[str, int] = {}
         for f in self.faults:
             counts[f.kind] = counts.get(f.kind, 0) + 1

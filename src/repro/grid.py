@@ -22,6 +22,7 @@ from .core.registry import UnitRegistry, global_registry
 from .core.taskgraph import TaskGraph
 from .mobility.repository import ModuleRepository
 from .mobility.sandbox import SandboxPolicy
+from .observe import Tracer, write_trace
 from .p2p.discovery import (
     CentralIndexDiscovery,
     DiscoveryService,
@@ -63,6 +64,11 @@ class ConsumerGrid:
         Link/CPU profile for volunteers (default: 2003 DSL consumer).
     sandbox / cache_policy / worker_efficiency:
         Forwarded to each worker's :class:`TrianaService`.
+    trace:
+        Record spans/events/metrics from construction on (see
+        :mod:`repro.observe` and docs/observability.md).
+    tracer:
+        Use a specific (caller-owned) tracer instead; implies ``trace``.
     """
 
     def __init__(
@@ -92,10 +98,14 @@ class ConsumerGrid:
         speculation_threshold: float = 0.9,
         speculation_age: Optional[float] = None,
         fault_plan=None,
+        trace: bool = False,
+        tracer: Optional[Tracer] = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
-        self.sim = Simulator(seed=seed)
+        if tracer is None and trace:
+            tracer = Tracer()
+        self.sim = Simulator(seed=seed, tracer=tracer)
         self.network = SimNetwork(
             self.sim,
             jitter_fraction=jitter_fraction,
@@ -226,12 +236,21 @@ class ConsumerGrid:
         workers: Optional[list[str]] = None,
         run_until: Optional[float] = None,
         dispatch: str = "round_robin",
+        trace_out: Optional[str] = None,
     ) -> RunReport:
         """Deploy and execute a task graph; blocks until completion.
 
         ``workers`` defaults to every discovered worker; ``dispatch``
         selects the farm policy (``round_robin`` | ``weighted``).
+        ``trace_out`` writes the run's trace to that path afterwards
+        (``.json`` → Chrome/Perfetto, ``.jsonl`` → event log, else a
+        text timeline); tracing is switched on for the run if it wasn't
+        already.
         """
+        if trace_out is not None and not self.sim.tracer.enabled:
+            # Late opt-in: swap the recording tracer in before discovery
+            # so the run's p2p/mobility/service spans are all captured.
+            self.sim.install_tracer(Tracer())
         if workers is None:
             workers = self.discover_workers()
         done = self.controller.run_distributed(
@@ -249,4 +268,6 @@ class ConsumerGrid:
             report = self.sim.run(until=done)
         if self.fault_injector is not None:
             report.recovery["faults"] = self.fault_injector.summary()
+        if trace_out is not None:
+            write_trace(self.sim.tracer, trace_out)
         return report

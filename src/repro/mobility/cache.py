@@ -49,6 +49,8 @@ class _Pending:
     event: Event
     unit_name: str
     done: bool = False
+    #: open ``module.fetch`` span while the request is in flight
+    span: Optional[object] = None
 
 
 class ModuleCache:
@@ -102,6 +104,13 @@ class ModuleCache:
         if cached is not None and self.policy == "sticky":
             self.stats.hits += 1
             self._cached.move_to_end(unit_name)
+            tracer = self.peer.sim.tracer
+            if tracer.enabled:
+                tracer.metrics.counter("mobility.cache_hits").inc()
+                tracer.instant(
+                    "cache.hit", category="mobility", track=self.peer.peer_id,
+                    unit=unit_name, policy=self.policy, version=cached.version,
+                )
             ev = self.peer.sim.event()
             ev.succeed(cached)
             return ev
@@ -117,6 +126,13 @@ class ModuleCache:
         pending = _Pending(event=self.peer.sim.event(), unit_name=unit_name)
         self._pending[request_id] = pending
         self.stats.fetches += 1
+        tracer = self.peer.sim.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("mobility.fetches").inc()
+            pending.span = tracer.begin(
+                "module.fetch", category="mobility", track=self.peer.peer_id,
+                unit=unit_name, repository=self.repository_host,
+            )
         self.peer.send(
             self.repository_host,
             "module-fetch",
@@ -129,6 +145,8 @@ class ModuleCache:
             if entry is not None and not entry.done:
                 entry.done = True
                 self.stats.failures += 1
+                if entry.span is not None:
+                    entry.span.end(outcome="timeout")
                 entry.event.fail(
                     RepositoryUnreachable(
                         f"no reply for module {unit_name!r} within "
@@ -147,18 +165,34 @@ class ModuleCache:
         entry.done = True
         if pkg is None:
             self.stats.failures += 1
+            if entry.span is not None:
+                entry.span.end(outcome="not-found")
             entry.event.fail(ModuleNotFoundInRepo(f"repository has no {unit_name!r}"))
             return
         previous = self._cached.get(unit_name)
         if previous is not None:
             if previous.version == pkg.version:
                 self.stats.hits += 1
+                outcome = "hit"
             else:
                 self.stats.refreshes += 1
+                outcome = "refresh"
+        else:
+            outcome = "new"
         self.stats.bytes_downloaded += pkg.code_size
         self._cached[unit_name] = pkg
         self._cached.move_to_end(unit_name)
         self._evict_to_fit()
+        if entry.span is not None:
+            tracer = self.peer.sim.tracer
+            if tracer.enabled:
+                if outcome == "hit":
+                    tracer.metrics.counter("mobility.cache_hits").inc()
+                else:
+                    tracer.metrics.counter("mobility.cache_misses").inc()
+            entry.span.end(
+                outcome=outcome, version=pkg.version, nbytes=pkg.code_size
+            )
         entry.event.succeed(pkg)
 
     def _evict_to_fit(self) -> None:

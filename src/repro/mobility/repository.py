@@ -108,6 +108,14 @@ class ModuleRepository:
         if pkg is not None:
             self.stats.packages_served += 1
             self.stats.bytes_served += pkg.code_size
+        tracer = self.peer.sim.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("mobility.repo_fetches").inc()
+            tracer.instant(
+                "repo.fetch", category="mobility", track=self.peer.peer_id,
+                unit=unit_name, requester=requester,
+                served=pkg is not None, nbytes=size,
+            )
         self.peer.send(
             requester, "module-package", payload=(request_id, unit_name, pkg), size_bytes=size
         )

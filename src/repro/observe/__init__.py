@@ -1,0 +1,57 @@
+"""Observability layer — tracing, metrics and timeline exports (§3.2).
+
+"users should be able to obtain progress of their running network" — the
+paper's disconnected-view requirement, §3.2.  This package generalises
+the minimal progress stream into a first-class observability layer:
+
+* :mod:`repro.observe.tracer` — a run-scoped :class:`Tracer` producing
+  hierarchical spans and point events over *simulated* time, plus the
+  zero-overhead :class:`NullTracer` every :class:`~repro.simkernel.Simulator`
+  carries by default;
+* :mod:`repro.observe.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and histograms with deterministic bucketing;
+* :mod:`repro.observe.export` — exporters: Chrome/Perfetto trace JSON,
+  a JSONL event log, and a plain-text per-peer timeline.
+
+Tracing is strictly *passive*: it never schedules simulation events and
+never draws randomness, so a traced run is bit-identical to an untraced
+one and two traced runs with the same seed emit identical trace files.
+
+See ``docs/observability.md`` for the full guide.
+"""
+
+from .export import (
+    chrome_trace,
+    jsonl_lines,
+    text_timeline,
+    trace_summary,
+    write_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    geometric_bounds,
+)
+from .tracer import NullTracer, SpanHandle, SpanRecord, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "SpanHandle",
+    "SpanRecord",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "geometric_bounds",
+    "jsonl_lines",
+    "text_timeline",
+    "trace_summary",
+    "write_trace",
+]

@@ -1,0 +1,225 @@
+"""Counters, gauges and histograms with deterministic bucketing (§3.2).
+
+The paper's progress requirement (§3.2) is qualitative; a production
+grid also needs *quantities* — how many messages were dropped, how deep
+the event queue ran, how long iterations took.  A
+:class:`MetricsRegistry` holds named instruments that instrumented
+layers update as the simulation runs:
+
+* :class:`Counter` — monotonically increasing count;
+* :class:`Gauge` — last-written value (plus the running max);
+* :class:`Histogram` — fixed, explicit bucket boundaries so the same
+  observations always land in the same buckets, on every platform and
+  in every run.  No dynamic resizing, no quantile sketches — the
+  determinism contract extends to metrics.
+
+A :class:`NullMetricsRegistry` backs the no-op tracer: its instruments
+are shared singletons whose update methods do nothing, so guarded call
+sites cost one branch and unguarded ones cost one no-op call.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "geometric_bounds",
+]
+
+
+def geometric_bounds(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """Bucket boundaries ``start * factor**k`` for ``k in range(count)``.
+
+    Products are computed by repeated multiplication from ``start`` so
+    the exact float values are reproducible everywhere.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    bounds = []
+    value = float(start)
+    for _ in range(count):
+        bounds.append(value)
+        value *= factor
+    return tuple(bounds)
+
+
+#: Default histogram boundaries: 2-decade-per-4-buckets geometric ladder
+#: covering microseconds to ~18 minutes of simulated time (or any other
+#: positive quantity of similar dynamic range).
+DEFAULT_BOUNDS = geometric_bounds(1e-6, 10.0 ** 0.5, 19)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0) to the count."""
+        self.value += n
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value, with the running maximum kept alongside."""
+
+    __slots__ = ("value", "max")
+
+    def __init__(self):
+        self.value = 0.0
+        self.max = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value, "max": self.max}
+
+
+class Histogram:
+    """Fixed-boundary histogram.
+
+    A value ``v`` lands in the first bucket whose upper bound satisfies
+    ``v <= bound`` (found with :func:`bisect.bisect_left`); values above
+    the last bound land in the overflow bucket.  Boundaries are frozen
+    at construction, so bucketing is a pure function of the value — the
+    property the determinism tests pin down.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None):
+        chosen = tuple(float(b) for b in (bounds if bounds is not None else DEFAULT_BOUNDS))
+        if not chosen or any(a >= b for a, b in zip(chosen, chosen[1:])):
+            raise ValueError("histogram bounds must be non-empty and strictly increasing")
+        self.bounds = chosen
+        self.counts = [0] * (len(chosen) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+
+class MetricsRegistry:
+    """Named instrument store with get-or-create semantics.
+
+    Asking twice for the same name returns the same instrument; asking
+    for an existing name as a different instrument type is an error
+    (silent type confusion would corrupt the exported snapshot).
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, Any] = {}
+
+    def _get(self, name: str, cls, *args):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = cls(*args)
+        elif type(inst) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {type(inst).__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, bounds: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create a histogram; ``bounds`` only applies on creation."""
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = Histogram(bounds)
+        elif type(inst) is not Histogram:
+            raise TypeError(
+                f"metric {name!r} already registered as {type(inst).__name__}"
+            )
+        return inst
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments, keyed by name, in sorted (stable) order."""
+        return {name: self._instruments[name].snapshot() for name in self.names()}
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram behind :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "null"}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Registry whose instruments discard every update (no allocation)."""
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def names(self) -> list[str]:
+        return []
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}

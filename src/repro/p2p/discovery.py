@@ -69,6 +69,8 @@ class _PendingQuery:
     expected_replies: Optional[int] = None
     replies_seen: int = 0
     done: bool = False
+    #: open ``discovery.query`` span while the query window is live
+    span: Any = None
 
     def add(self, advs: list[Advertisement]) -> None:
         for adv in advs:
@@ -127,6 +129,13 @@ class DiscoveryService:
         spec = QuerySpec(adv_type, name, predicate)
         req = next(_request_ids)
         pending = _PendingQuery(event=peer.sim.event())
+        tracer = peer.sim.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("p2p.discovery_queries").inc()
+            pending.span = tracer.begin(
+                "discovery.query", category="p2p", track=peer.peer_id,
+                strategy=self.KIND_PREFIX, adv_type=adv_type, query_name=name,
+            )
         self._pending[(peer.peer_id, req)] = pending
         self.stats.queries += 1
         # Local cache contributes immediately.
@@ -135,12 +144,21 @@ class DiscoveryService:
         key = (peer.peer_id, req)
 
         def close() -> None:
-            entry = self._pending.pop(key, None)
+            entry = self._pending.get(key)
             if entry is not None:
-                self.stats.results_returned += len(entry.finish())
+                self._complete(key, entry)
 
         peer.sim.call_at(peer.sim.now + self.query_window, close)
         return pending.event
+
+    def _complete(self, key: tuple[str, int], entry: _PendingQuery) -> None:
+        """Finish a query (early or at window close) exactly once."""
+        self._pending.pop(key, None)
+        results = entry.finish()
+        self.stats.results_returned += len(results)
+        if entry.span is not None:
+            entry.span.end(results=len(entry.results), replies=entry.replies_seen)
+            entry.span = None
 
     def _send_query(
         self, peer: Peer, req: int, spec: QuerySpec, pending: _PendingQuery
@@ -169,9 +187,7 @@ class DiscoveryService:
             entry.expected_replies is not None
             and entry.replies_seen >= entry.expected_replies
         ):
-            key = (message.dst, req)
-            self._pending.pop(key, None)
-            self.stats.results_returned += len(entry.finish())
+            self._complete((message.dst, req), entry)
 
 
 class CentralIndexDiscovery(DiscoveryService):
@@ -335,9 +351,7 @@ class RendezvousDiscovery(DiscoveryService):
             pending.expected_replies = len(self.rendezvous_ids) - 1
             pending.add(peer.cache.query(peer.sim.now, spec.adv_type, spec.name, spec.predicate))
             if pending.expected_replies == 0:
-                key = (peer.peer_id, req)
-                self._pending.pop(key, None)
-                self.stats.results_returned += len(pending.finish())
+                self._complete((peer.peer_id, req), pending)
                 return
             for other in self.rendezvous_ids:
                 if other != peer.peer_id:

@@ -279,21 +279,36 @@ class SimNetwork:
         self.stats.sent += 1
         self.stats.bytes_sent += message.size_bytes
         self.stats.by_kind[message.kind] = self.stats.by_kind.get(message.kind, 0) + 1
+        tracer = self.sim.tracer
+        traced = tracer.enabled
+        if traced:
+            tracer.metrics.counter("p2p.messages_sent").inc()
+            tracer.metrics.histogram("p2p.message_bytes").observe(message.size_bytes)
+            tracer.instant(
+                "net.send", category="p2p", track=message.src,
+                kind=message.kind, dst=message.dst, size=message.size_bytes,
+            )
         delay = self.transfer_time(message.src, message.dst, message.size_bytes)
         if self.jitter_fraction > 0:
             jitter = self.sim.rng("net-jitter").uniform(0, self.jitter_fraction)
             delay *= 1.0 + jitter
         if not self._online[message.src] or not self._online[message.dst]:
             self.stats.dropped_offline += 1
+            if traced:
+                self._trace_drop(tracer, message, "offline")
             return delay
         if self.partitioned(message.src, message.dst):
             self.stats.dropped_partition += 1
+            if traced:
+                self._trace_drop(tracer, message, "partition")
             return delay
         if (
             self.loss_fraction > 0.0
             and self.sim.rng("net-loss").random() < self.loss_fraction
         ):
             self.stats.dropped_loss += 1
+            if traced:
+                self._trace_drop(tracer, message, "loss")
             return delay
         if (
             self.corrupt_fraction > 0.0
@@ -302,6 +317,9 @@ class SimNetwork:
             # Garbled in flight; the receiver's checksum catches it and the
             # frame is discarded — recovery is the job of higher layers.
             self.stats.corrupted += 1
+            if traced:
+                # The chaos-corruption tag: checksum failure at the receiver.
+                self._trace_drop(tracer, message, "corrupt", chaos=True)
             return delay
         if (
             self.reorder_fraction > 0.0
@@ -314,13 +332,24 @@ class SimNetwork:
         def deliver() -> None:
             # The destination may have gone offline (or been partitioned
             # away) while in flight.
+            tracer = self.sim.tracer
             if not self._online.get(message.dst, False):
                 self.stats.dropped_offline += 1
+                if tracer.enabled:
+                    self._trace_drop(tracer, message, "offline")
                 return
             if self.partitioned(message.src, message.dst):
                 self.stats.dropped_partition += 1
+                if tracer.enabled:
+                    self._trace_drop(tracer, message, "partition")
                 return
             self.stats.delivered += 1
+            if tracer.enabled:
+                tracer.metrics.counter("p2p.messages_delivered").inc()
+                tracer.instant(
+                    "net.recv", category="p2p", track=message.dst,
+                    kind=message.kind, src=message.src, size=message.size_bytes,
+                )
             self._handlers[message.dst](message)
 
         duplicated = (
@@ -329,6 +358,12 @@ class SimNetwork:
         )
         if duplicated:
             self.stats.duplicated += 1
+            if traced:
+                tracer.metrics.counter("p2p.duplicated").inc()
+                tracer.instant(
+                    "net.duplicate", category="p2p", track=message.src,
+                    kind=message.kind, dst=message.dst, chaos=True,
+                )
         if self.contention:
             self.sim.process(
                 self._contended_delivery(message, deliver),
@@ -344,6 +379,14 @@ class SimNetwork:
             if duplicated:
                 self.sim.call_at(self.sim.now + delay * 1.5, deliver)
         return delay
+
+    def _trace_drop(self, tracer, message: Message, reason: str, chaos: bool = False) -> None:
+        """Record a dropped/discarded frame, tagged with why it died."""
+        tracer.metrics.counter(f"p2p.dropped_{reason}").inc()
+        attrs = dict(kind=message.kind, src=message.src, reason=reason)
+        if chaos:
+            attrs["chaos"] = True
+        tracer.instant("net.drop", category="p2p", track=message.dst, **attrs)
 
     def _link(self, table: dict, node_id: str) -> "Resource":
         from ..simkernel import Resource

@@ -78,6 +78,8 @@ class RunReport:
     messages_reordered: int = 0
     #: failure-detector / recovery summary (see docs/robustness.md)
     recovery: dict[str, Any] = field(default_factory=dict)
+    #: tracer summary for the run (see docs/observability.md)
+    tracing: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -145,6 +147,8 @@ class TrianaController:
         self._last_chain: list[tuple[str, DeploymentSpec]] = []
         #: subscribed progress views (§3.2 disconnected UI)
         self.monitors: list = []
+        #: open redispatch spans by iteration (closed on result/supersede)
+        self._redispatch_spans: dict[int, Any] = {}
         #: (policy, iteration→replica) of the farm currently in flight
         self._active_dispatch = None
         self._reparam_events: dict[tuple[str, str], Event] = {}
@@ -157,19 +161,39 @@ class TrianaController:
 
     # -- progress views --------------------------------------------------------
     def attach_monitor(self, monitor) -> None:
-        """Subscribe a progress view (browser page, WAP status, ...)."""
-        self.monitors.append(monitor)
+        """Subscribe a progress view (browser page, WAP status, ...).
 
-    def _notify(self, kind: str, **data) -> None:
-        if not self.monitors:
-            return
+        Views ride the tracer's ``progress`` event stream rather than a
+        parallel one: :meth:`_notify` emits a trace instant, and an
+        adapter subscribed here converts instants on this controller's
+        track back into :class:`~repro.service.monitor.ProgressEvent`
+        objects.  Works on traced and untraced simulations alike — the
+        :class:`~repro.observe.tracer.NullTracer` still dispatches to
+        subscribers.
+        """
         from .monitor import ProgressEvent
 
-        event = ProgressEvent(
-            time=self.sim.now, kind=kind, data=tuple(sorted(data.items()))
+        track = self.peer.peer_id
+
+        def adapter(event) -> None:
+            if event.track != track:
+                return  # another controller's progress on a shared sim
+            monitor.notify(
+                ProgressEvent(
+                    time=event.time,
+                    kind=event.name,
+                    data=tuple(sorted(event.info.items())),
+                )
+            )
+
+        self.monitors.append(monitor)
+        self.sim.tracer.subscribe(adapter, category="progress")
+
+    def _notify(self, kind: str, **data) -> None:
+        """Emit a progress instant (recorded when tracing, always fanned out)."""
+        self.sim.tracer.instant(
+            kind, category="progress", track=self.peer.peer_id, **data
         )
-        for monitor in self.monitors:
-            monitor.notify(event)
 
     # -- message handlers -----------------------------------------------------
     def _on_ack(self, message: Message) -> None:
@@ -205,6 +229,9 @@ class TrianaController:
                 policy.completed(replica_of.pop(iteration))
         if self._outstanding_ref is not None:
             self._outstanding_ref.pop(iteration, None)
+        span = self._redispatch_spans.pop(iteration, None)
+        if span is not None:
+            span.end(outcome="completed", worker=message.src)
         ev.succeed(outputs)
 
     def _on_checkpoint_reply(self, message: Message) -> None:
@@ -300,6 +327,26 @@ class TrianaController:
         )
 
     def _run_proc(self, graph, iterations, workers, probes, dispatch="round_robin"):
+        tracer = self.sim.tracer
+        run_span = (
+            tracer.begin(
+                "controller.run", category="service", track=self.peer.peer_id,
+                graph=graph.name, iterations=iterations, dispatch=dispatch,
+            )
+            if tracer.enabled
+            else None
+        )
+        try:
+            report = yield from self._run_proc_inner(
+                graph, iterations, workers, probes, dispatch, run_span
+            )
+        finally:
+            if run_span is not None:
+                run_span.end()  # idempotent; closes the span on error paths
+        report.tracing = self.sim.tracer.summary()
+        return report
+
+    def _run_proc_inner(self, graph, iterations, workers, probes, dispatch, run_span):
         start = self.sim.now
         net = self.peer.network.stats
         net_before = (
@@ -339,11 +386,22 @@ class TrianaController:
             policy=group.policy,
         )
         deploy_start = self.sim.now
+        tracer = self.sim.tracer
+        deploy_span = (
+            tracer.begin(
+                "controller.deploy", category="service", track=self.peer.peer_id,
+                policy=group.policy, workers=len(workers),
+            )
+            if tracer.enabled
+            else None
+        )
         if group.policy == "parallel":
             placements = yield from self._deploy_parallel(group, workers)
         else:
             placements = yield from self._deploy_chain(group, workers)
         deploy_time = self.sim.now - deploy_start
+        if deploy_span is not None:
+            deploy_span.end(deployments=len(placements))
         for dep_id, worker in placements.items():
             self._notify("deployed", deployment=dep_id, worker=worker)
             self.detector.watch(worker, self.sim.now)
@@ -418,6 +476,11 @@ class TrianaController:
         self._active_dispatch = None
         self._outstanding_ref = None
         self._valid_deps = set()
+        for _it, span in sorted(self._redispatch_spans.items()):
+            span.end(outcome="abandoned")
+        self._redispatch_spans.clear()
+        if run_span is not None:
+            run_span.set(policy=group.policy, redispatches=redispatch_count["n"])
 
         recovery = dict(self.detector.snapshot(self.sim.now))
         recovery.update(
@@ -681,6 +744,13 @@ class TrianaController:
         size = sum(
             v.payload_nbytes() if hasattr(v, "payload_nbytes") else 64 for v in inputs
         ) + 64
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("service.dispatches").inc()
+            tracer.instant(
+                "controller.dispatch", category="service", track=self.peer.peer_id,
+                worker=worker, deployment=deployment_id, iteration=iteration,
+            )
         self.peer.send(
             worker, "group-exec", payload=(deployment_id, iteration, inputs), size_bytes=size
         )
@@ -715,7 +785,16 @@ class TrianaController:
                         payload=(self.peer.peer_id, hb),
                         size_bytes=48,
                     )
-            self.detector.check(now)
+            fresh_suspects = self.detector.check(now)
+            if fresh_suspects:
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    for worker in fresh_suspects:
+                        tracer.metrics.counter("service.suspicions").inc()
+                        tracer.instant(
+                            "detector.suspect", category="service",
+                            track=self.peer.peer_id, worker=worker,
+                        )
             done = iterations - len(outstanding)
             for it, rec in sorted(outstanding.items()):
                 ev = self._result_events.get(it)
@@ -751,6 +830,17 @@ class TrianaController:
         rec.retry_at = now + backoff * (1.0 + 0.25 * float(rng.random()))
         counter["n"] += 1
         counter[reason] += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            previous = self._redispatch_spans.pop(it, None)
+            if previous is not None:
+                previous.end(outcome="superseded")
+            self._redispatch_spans[it] = tracer.begin(
+                "controller.redispatch", category="service",
+                track=self.peer.peer_id, iteration=it,
+                worker=replica_hosts[idx], reason=reason, attempt=rec.attempts,
+            )
+            tracer.metrics.counter(f"service.redispatch_{reason}").inc()
         self._notify(
             "redispatch", iteration=it, worker=replica_hosts[idx], reason=reason
         )
@@ -791,5 +881,8 @@ class TrianaController:
             return  # no second replica worth speculating on
         rec.speculated = True
         counter["speculative"] += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("service.speculations").inc()
         self._notify("speculate", iteration=it, worker=replica_hosts[idx])
         self._dispatch(replica_hosts[idx], dep_ids[idx], it, rec.inputs)

@@ -76,6 +76,7 @@ class HeartbeatFailureDetector:
 
     # -- observations ---------------------------------------------------------
     def observe_heartbeat(self, worker: str, now: float) -> None:
+        """Record a ``triana-heartbeat``; clears any standing suspicion."""
         rec = self.workers.get(worker)
         if rec is None:
             return  # heartbeat from a worker we never placed work on
@@ -86,6 +87,7 @@ class HeartbeatFailureDetector:
             rec.suspected = False
 
     def observe_result(self, worker: str, now: float) -> None:
+        """Record a delivered result: refreshes liveness and repays score."""
         rec = self.workers.get(worker)
         if rec is None:
             return
@@ -141,6 +143,7 @@ class HeartbeatFailureDetector:
 
     # -- reporting ------------------------------------------------------------
     def snapshot(self, now: float) -> dict[str, Any]:
+        """Detector state for the run report's ``recovery`` section."""
         return {
             "suspected": {
                 w: r.suspicions for w, r in self.workers.items() if r.suspicions

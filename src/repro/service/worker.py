@@ -190,8 +190,11 @@ class TrianaService:
         yield self.sim.timeout(self._hb_interval)
         while self.sim.now < self._hb_lease_until:
             if self.peer.online:
+                tracer = self.sim.tracer
                 for controller in sorted(self._hb_controllers):
                     self.stats.heartbeats_sent += 1
+                    if tracer.enabled:
+                        tracer.metrics.counter("service.heartbeats_sent").inc()
                     self.peer.send(
                         controller,
                         "triana-heartbeat",
@@ -218,6 +221,15 @@ class TrianaService:
 
     def _deploy_proc(self, spec: DeploymentSpec):
         """Fetch modules (with retry), authorise, build the engine, ack."""
+        tracer = self.sim.tracer
+        span = (
+            tracer.begin(
+                "worker.deploy", category="service", track=self.peer.peer_id,
+                deployment=spec.deployment_id, controller=spec.controller,
+            )
+            if tracer.enabled
+            else None
+        )
         try:
             required = sorted(unit_names_in_xml(spec.xml))
             for unit_name in required:
@@ -232,6 +244,11 @@ class TrianaService:
                 if unit_name not in self.local_registry:
                     self.local_registry.register(pkg.cls)
                 self.sandbox.authorise(pkg.cls, version=pkg.version)
+                if span is not None:
+                    tracer.instant(
+                        "sandbox.authorise", category="mobility",
+                        track=self.peer.peer_id, unit=unit_name, version=pkg.version,
+                    )
             graph = graph_from_string(spec.xml, registry=self.local_registry)
             engine = LocalEngine(graph, external_inputs=spec.external_inputs)
             # "Users also would have the option to specify how much RAM the
@@ -241,6 +258,8 @@ class TrianaService:
             )
         except (MobilityError, SandboxViolation, Exception) as exc:
             self.stats.deploy_failures += 1
+            if span is not None:
+                span.end(outcome="failed", error=type(exc).__name__)
             self.peer.send(
                 spec.controller,
                 "deploy-ack",
@@ -253,6 +272,8 @@ class TrianaService:
         )
         self.deployments[spec.deployment_id] = dep
         self.stats.deployments += 1
+        if span is not None:
+            span.end(outcome="deployed", units=len(required))
         self.sim.process(self._exec_loop(dep), name=f"exec/{spec.deployment_id}")
         self.peer.send(
             spec.controller, "deploy-ack", payload=(spec.deployment_id, None), size_bytes=64
@@ -305,10 +326,21 @@ class TrianaService:
                 key: value
                 for key, value in zip(dep.spec.external_inputs, inputs)
             }
+            tracer = self.sim.tracer
+            span = (
+                tracer.begin(
+                    "worker.exec", category="service", track=self.peer.peer_id,
+                    deployment=dep.spec.deployment_id, iteration=iteration,
+                )
+                if tracer.enabled
+                else None
+            )
             flops_before = dep.engine.stats.modelled_flops
             outputs_map = dep.engine.step(external)
             duration = (dep.engine.stats.modelled_flops - flops_before) / speed
             yield self.sim.timeout(duration)
+            if span is not None:
+                span.end(modelled_seconds=duration)
             self.stats.busy_seconds += duration
             self.stats.iterations += 1
             dep.iterations_done += 1

@@ -32,6 +32,7 @@ import heapq
 from collections.abc import Generator, Iterable
 from typing import Any, Callable, Optional
 
+from ..observe.tracer import NullTracer
 from .errors import EventStateError, Interrupt, ProcessError, SimTimeError
 from .rng import RngRegistry
 
@@ -292,14 +293,28 @@ class Simulator:
     seed:
         Root seed for the simulator's :class:`RngRegistry`; all stochastic
         components should draw via :meth:`rng`.
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer`.  Defaults to a
+        fresh :class:`~repro.observe.tracer.NullTracer`, which records
+        nothing but still routes progress-view subscriptions.  Tracing
+        is passive: it never schedules events or consumes randomness, so
+        traced and untraced runs are bit-identical.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, tracer=None):
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._rngs = RngRegistry(seed)
         self.events_executed = 0
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.tracer.attach_clock(lambda: self.now)
+
+    def install_tracer(self, tracer) -> None:
+        """Swap the tracer in, keeping existing progress subscriptions."""
+        tracer.attach_clock(lambda: self.now)
+        tracer._subs.extend(self.tracer._subs)
+        self.tracer = tracer
 
     # -- randomness ---------------------------------------------------------
     def rng(self, name: str):
@@ -353,6 +368,9 @@ class Simulator:
         when, _seq, event = heapq.heappop(self._queue)
         self.now = when
         self.events_executed += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.on_step(self)
         event._run_callbacks()
 
     def run(self, until: float | Event | None = None) -> Any:
@@ -362,6 +380,13 @@ class Simulator:
         an :class:`Event` — in the last case the event's value is returned
         (its failure re-raised).
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._run(until)
+        with tracer.span("sim.run", category="simkernel", track="sim"):
+            return self._run(until)
+
+    def _run(self, until: float | Event | None) -> Any:
         if isinstance(until, Event):
             stop = until
             while not stop.processed:

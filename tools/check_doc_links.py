@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Docs link checker: fail CI on dead relative links.
+
+Scans ``README.md`` and every ``docs/*.md`` for inline markdown links
+(``[text](target)``), resolves each relative target against the file it
+appears in, and exits non-zero if any target is missing.  External links
+(``http://``, ``https://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped; a ``path#anchor`` target is checked for the
+path only.
+
+Also enforces the docs-reachability contract: every ``docs/*.md`` page
+must be linked from ``docs/index.md`` *and* from ``README.md``.
+
+Usage: ``python tools/check_doc_links.py [repo_root]``
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline links, ignoring images; the target is group 1
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every inline link in ``path``."""
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check(root: Path) -> list[str]:
+    """Return a list of human-readable problems (empty = all good)."""
+    problems: list[str] = []
+    docs_dir = root / "docs"
+    sources = [root / "README.md"] + sorted(docs_dir.glob("*.md"))
+    links_from: dict[Path, set[Path]] = {}
+
+    for source in sources:
+        if not source.exists():
+            problems.append(f"{source.relative_to(root)}: file missing")
+            continue
+        resolved: set[Path] = set()
+        for lineno, target in iter_links(source):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            candidate = (source.parent / target_path).resolve()
+            if not candidate.exists():
+                problems.append(
+                    f"{source.relative_to(root)}:{lineno}: dead link "
+                    f"-> {target}"
+                )
+            else:
+                resolved.add(candidate)
+        links_from[source] = resolved
+
+    # Reachability: every docs page is linked from the docs index AND the
+    # README (directly, or via the docs index for the README).
+    index = docs_dir / "index.md"
+    readme = root / "README.md"
+    for page in sorted(docs_dir.glob("*.md")):
+        if page == index:
+            continue
+        target = page.resolve()
+        if index.exists() and target not in links_from.get(index, set()):
+            problems.append(
+                f"docs/index.md: does not link docs/{page.name}"
+            )
+        if readme.exists() and target not in links_from.get(readme, set()):
+            problems.append(
+                f"README.md: does not link docs/{page.name}"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    problems = check(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} doc-link problem(s)", file=sys.stderr)
+        return 1
+    checked = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    print(f"doc links OK ({len(checked)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
