@@ -7,11 +7,15 @@ choosing the desired level of granularity").  We run the same workload
 under both policies and sweep the group width.
 """
 
+from benchlib import timed
+
 from repro.analysis import e10_policy_ablation, render_table
 
 
-def test_e10_policy_ablation(benchmark, save_result):
-    result = benchmark.pedantic(e10_policy_ablation, rounds=1, iterations=1)
+def test_e10_policy_ablation(benchmark, record_bench):
+    result, wall = timed(
+        benchmark, e10_policy_ablation, kwargs={"trace": True}
+    )
     policy_rows = [
         (r["policy"], r["stages"], r["makespan_s"], r["throughput_per_s"])
         for r in result["policies"]
@@ -36,4 +40,12 @@ def test_e10_policy_ablation(benchmark, save_result):
         gran_rows,
         title="\nE10b  granularity sweep (parallel farm of width-k groups)",
     )
-    save_result("e10_policies", table_a + "\n" + table_b)
+    record_bench(
+        "e10_policies",
+        seed=0,
+        wall_s=wall,
+        tracer=result["tracer"],
+        rows={"policies": result["policies"],
+              "granularity": result["granularity"]},
+        table=table_a + "\n" + table_b,
+    )

@@ -9,6 +9,8 @@ curve stays near-linear — the quantitative reason the paper's demo used
 a LAN, and the regime any real Consumer Grid deployment must respect.
 """
 
+from benchlib import timed
+
 from repro.analysis import render_table, speedup
 from repro.apps.galaxy import build_galaxy_graph, generate_snapshots
 from repro.grid import ConsumerGrid
@@ -18,13 +20,16 @@ N_FRAMES = 16
 N_PARTICLES = 3000  # ~120 kB per frame on the wire
 
 
-def run_profile_sweep(worker_counts=(1, 2, 4, 8), seed=0):
+def run_profile_sweep(worker_counts=(1, 2, 4, 8), seed=0, trace=False):
     rows = []
+    tracer = None
     for label, profile in (("LAN", LAN_PROFILE), ("DSL", DSL_PROFILE)):
         base = None
         for k in worker_counts:
             key = f"e11-{label}-{k}"
             generate_snapshots(N_FRAMES, N_PARTICLES, seed=seed, register_as=key)
+            # Trace the saturated configuration (DSL uplink, widest farm).
+            traced = trace and label == "DSL" and k == worker_counts[-1]
             grid = ConsumerGrid(
                 n_workers=k,
                 seed=seed,
@@ -32,7 +37,10 @@ def run_profile_sweep(worker_counts=(1, 2, 4, 8), seed=0):
                 controller_profile=profile,
                 worker_efficiency=1e-4,
                 contention=True,
+                trace=traced,
             )
+            if traced:
+                tracer = grid.sim.tracer
             graph = build_galaxy_graph(key, resolution=32, policy="parallel")
             report = grid.run(graph, iterations=N_FRAMES)
             if base is None:
@@ -45,18 +53,23 @@ def run_profile_sweep(worker_counts=(1, 2, 4, 8), seed=0):
                     "speedup": speedup(base, report.makespan),
                 }
             )
-    return rows
+    return {"rows": rows, "tracer": tracer}
 
 
-def test_e11_network_profile_ablation(benchmark, save_result):
-    rows = benchmark.pedantic(run_profile_sweep, rounds=1, iterations=1)
+def test_e11_network_profile_ablation(benchmark, record_bench):
+    result, wall = timed(benchmark, run_profile_sweep, kwargs={"trace": True})
+    rows = result["rows"]
     by = {(r["link"], r["workers"]): r for r in rows}
     # LAN scales ~linearly; DSL saturates against the controller uplink.
     assert by[("LAN", 8)]["speedup"] > 6.0
     assert by[("DSL", 8)]["speedup"] < 0.75 * by[("LAN", 8)]["speedup"]
-    save_result(
+    record_bench(
         "e11_network",
-        render_table(
+        seed=0,
+        wall_s=wall,
+        tracer=result["tracer"],
+        rows=rows,
+        table=render_table(
             ["link", "workers", "makespan (s)", "speedup"],
             [
                 (r["link"], r["workers"], r["makespan_s"], r["speedup"])

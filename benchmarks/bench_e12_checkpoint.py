@@ -7,6 +7,8 @@ with work either resumed from its interruption point or restarted from
 scratch.
 """
 
+from benchlib import timed
+
 from repro.analysis import render_table, simulate_volunteer_fleet
 from repro.resources import PoissonChurn
 
@@ -35,17 +37,20 @@ def run_checkpoint_ablation(n_peers=34, n_chunks=24, seed=0):
     return rows
 
 
-def test_e12_checkpoint_ablation(benchmark, save_result):
-    rows = benchmark.pedantic(run_checkpoint_ablation, rounds=1, iterations=1)
+def test_e12_checkpoint_ablation(benchmark, record_bench):
+    rows, wall = timed(benchmark, run_checkpoint_ablation)
     by = {r["mode"]: r for r in rows}
     assert by["checkpoint+migrate"]["restarts"] == 0
     assert by["restart"]["restarts"] > 0
     assert (
         by["checkpoint+migrate"]["mean_lag_h"] <= by["restart"]["mean_lag_h"]
     )
-    save_result(
+    record_bench(
         "e12_checkpoint",
-        render_table(
+        seed=0,
+        wall_s=wall,
+        rows=rows,
+        table=render_table(
             ["mode", "peers", "chunks done", "mean lag (h)", "max lag (h)",
              "restarts"],
             [

@@ -7,6 +7,8 @@ capability-weighted dispatch on a fleet that mixes 4 GHz and 1 GHz
 volunteers.
 """
 
+from benchlib import timed
+
 from repro.analysis import render_table
 from repro.core import TaskGraph
 from repro.grid import ConsumerGrid
@@ -25,7 +27,7 @@ def heavy_graph():
     return g
 
 
-def build_hetero_grid(seed, fast_cpus=2, slow_cpus=2):
+def build_hetero_grid(seed, fast_cpus=2, slow_cpus=2, trace=False):
     grid = ConsumerGrid(
         n_workers=fast_cpus,
         seed=seed,
@@ -35,6 +37,7 @@ def build_hetero_grid(seed, fast_cpus=2, slow_cpus=2):
         ),
         controller_profile=LAN_PROFILE,
         worker_efficiency=1e-5,
+        trace=trace,
     )
     for i in range(slow_cpus):
         peer = Peer(
@@ -54,10 +57,14 @@ def build_hetero_grid(seed, fast_cpus=2, slow_cpus=2):
     return grid
 
 
-def run_dispatch_ablation(iterations=24):
+def run_dispatch_ablation(iterations=24, trace=False):
     rows = []
+    tracer = None
     for dispatch, seed in (("round_robin", 301), ("weighted", 302)):
-        grid = build_hetero_grid(seed)
+        traced = trace and dispatch == "weighted"
+        grid = build_hetero_grid(seed, trace=traced)
+        if traced:
+            tracer = grid.sim.tracer
         report = grid.run(heavy_graph(), iterations=iterations, dispatch=dispatch)
         loads = {w: svc.stats.iterations for w, svc in grid.workers.items()}
         rows.append(
@@ -68,17 +75,25 @@ def run_dispatch_ablation(iterations=24):
                 "slow_load": sum(v for k, v in loads.items() if k.startswith("slow")),
             }
         )
-    return rows
+    return {"rows": rows, "tracer": tracer}
 
 
-def test_e13_dispatch_ablation(benchmark, save_result):
-    rows = benchmark.pedantic(run_dispatch_ablation, rounds=1, iterations=1)
+def test_e13_dispatch_ablation(benchmark, record_bench):
+    result, wall = timed(
+        benchmark, run_dispatch_ablation, kwargs={"trace": True}
+    )
+    rows = result["rows"]
     by = {r["dispatch"]: r for r in rows}
     assert by["weighted"]["makespan_s"] < 0.8 * by["round_robin"]["makespan_s"]
     assert by["weighted"]["fast_load"] > by["weighted"]["slow_load"]
-    save_result(
+    record_bench(
         "e13_dispatch",
-        render_table(
+        seed=302,
+        wall_s=wall,
+        sim_s=by["weighted"]["makespan_s"],
+        tracer=result["tracer"],
+        rows=rows,
+        table=render_table(
             ["dispatch", "makespan (s)", "iters on 4 GHz pair",
              "iters on 1 GHz pair"],
             [

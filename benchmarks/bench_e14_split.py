@@ -10,12 +10,14 @@ splitting multiplies the wire volume by k and over-subscribes the data
 source's uplink, while chunk farming ships each chunk once.
 """
 
+from benchlib import timed
+
 from repro.analysis import e14_split_axis, render_table
 
 
-def test_e14_split_axis(benchmark, save_result):
-    result = benchmark.pedantic(
-        e14_split_axis, kwargs={"n_workers": 20}, rounds=3, iterations=1
+def test_e14_split_axis(benchmark, record_bench):
+    result, wall = timed(
+        benchmark, e14_split_axis, kwargs={"n_workers": 20}, rounds=3
     )
     rows = result["rows"]
     chunk_row = rows[0]
@@ -29,9 +31,12 @@ def test_e14_split_axis(benchmark, save_result):
     assert template_row["uplink_share_per_chunk"] > 1.0
     # The only thing template split buys is per-chunk latency.
     assert template_row["per_chunk_latency_h"] < chunk_row["per_chunk_latency_h"]
-    save_result(
+    record_bench(
         "e14_split",
-        render_table(
+        seed=0,
+        wall_s=wall,
+        rows=result["rows"],
+        table=render_table(
             ["axis", "MB shipped per chunk", "per-chunk latency (h)",
              "workers needed", "source-uplink share"],
             [

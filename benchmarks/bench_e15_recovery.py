@@ -11,6 +11,8 @@ robustness that changes answers is not robustness.
 
 import numpy as np
 
+from benchlib import timed
+
 from repro.analysis import render_table
 from repro.apps.galaxy import build_galaxy_graph, generate_snapshots
 from repro.faults import chaos
@@ -23,7 +25,7 @@ N_PARTICLES = 300
 LEVELS = (None, "mild", "moderate", "heavy")
 
 
-def make_grid(plan, seed=900):
+def make_grid(plan, seed=900, trace=False):
     return ConsumerGrid(
         n_workers=N_WORKERS,
         seed=seed,
@@ -35,15 +37,17 @@ def make_grid(plan, seed=900):
         retry_timeout=30.0,
         retry_interval=2.0,
         fault_plan=plan,
+        trace=trace,
     )
 
 
-def run_levels(seed=900, chaos_seed=5):
+def run_levels(seed=900, chaos_seed=5, trace=False):
     workers = [f"worker-{i}" for i in range(N_WORKERS)]
     generate_snapshots(N_FRAMES, N_PARTICLES, seed=3, register_as="e15-gal")
     rows = []
     baseline = None
     reference = None
+    tracer = None
     for level in LEVELS:
         plan = (
             chaos(level, seed=chaos_seed, workers=workers,
@@ -51,7 +55,12 @@ def run_levels(seed=900, chaos_seed=5):
             if level
             else None
         )
-        grid = make_grid(plan, seed=seed)
+        # Trace the heaviest storm — the run where redispatch/recovery
+        # shows up in the bottleneck attribution.
+        traced = trace and level == "heavy"
+        grid = make_grid(plan, seed=seed, trace=traced)
+        if traced:
+            tracer = grid.sim.tracer
         graph = build_galaxy_graph("e15-gal", resolution=16)
         report = grid.run(graph, iterations=N_FRAMES, run_until=100_000)
         frames = [out[0].pixels for out in report.group_results]
@@ -73,11 +82,12 @@ def run_levels(seed=900, chaos_seed=5):
                 "identical": identical,
             }
         )
-    return rows
+    return {"rows": rows, "tracer": tracer}
 
 
-def test_e15_recovery_overhead(benchmark, save_result):
-    rows = benchmark.pedantic(run_levels, rounds=1, iterations=1)
+def test_e15_recovery_overhead(benchmark, record_bench):
+    result, wall = timed(benchmark, run_levels, kwargs={"trace": True})
+    rows = result["rows"]
     by = {r["level"]: r for r in rows}
     # Correctness is non-negotiable at every chaos level.
     assert all(r["identical"] for r in rows)
@@ -88,9 +98,13 @@ def test_e15_recovery_overhead(benchmark, save_result):
     # The detector was actually doing the work under real churn.
     assert by["moderate"]["suspected"] >= 1
     assert by["moderate"]["redispatches"] >= 1
-    save_result(
+    record_bench(
         "e15_recovery",
-        render_table(
+        seed=900,
+        wall_s=wall,
+        tracer=result["tracer"],
+        rows=rows,
+        table=render_table(
             [
                 "chaos level",
                 "makespan (s)",

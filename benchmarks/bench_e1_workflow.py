@@ -6,23 +6,33 @@ We regenerate the workflow through the API, serialise, parse, re-execute,
 and report graph size and the recovered signal.
 """
 
+from benchlib import timed
+
 from repro.analysis import e1_workflow_roundtrip, render_kv
 
 
-def test_e1_workflow_roundtrip(benchmark, save_result):
-    result = benchmark.pedantic(e1_workflow_roundtrip, rounds=3, iterations=1)
+def test_e1_workflow_roundtrip(benchmark, record_bench):
+    result, wall = timed(benchmark, e1_workflow_roundtrip, rounds=3)
     assert result["roundtrip_stable"]
     assert result["peak_hz"] == 64.0
-    save_result(
+    table = render_kv(
+        [
+            ("tasks in Fig.1 network", result["tasks"]),
+            ("units inside GroupTask", result["group_members"]),
+            ("task-graph XML size (bytes)", result["xml_bytes"]),
+            ("XML round-trip stable", result["roundtrip_stable"]),
+            ("recovered peak (Hz)", result["peak_hz"]),
+        ],
+        title="E1  Fig.1 workflow + Code Segment 1 XML round-trip",
+    )
+    record_bench(
         "e1_workflow",
-        render_kv(
-            [
-                ("tasks in Fig.1 network", result["tasks"]),
-                ("units inside GroupTask", result["group_members"]),
-                ("task-graph XML size (bytes)", result["xml_bytes"]),
-                ("XML round-trip stable", result["roundtrip_stable"]),
-                ("recovered peak (Hz)", result["peak_hz"]),
-            ],
-            title="E1  Fig.1 workflow + Code Segment 1 XML round-trip",
-        ),
+        seed=0,
+        wall_s=wall,
+        rows={
+            k: result[k]
+            for k in ("tasks", "group_members", "xml_bytes",
+                      "roundtrip_stable", "peak_hz")
+        },
+        table=table,
     )

@@ -6,12 +6,14 @@ We print the full SNR(n) series; white-noise averaging should approach a
 √n gain.
 """
 
+from benchlib import timed
+
 from repro.analysis import e2_accumstat_snr, render_table
 
 
-def test_e2_accumstat_snr_series(benchmark, save_result):
-    result = benchmark.pedantic(
-        e2_accumstat_snr, kwargs={"max_iterations": 20}, rounds=3, iterations=1
+def test_e2_accumstat_snr_series(benchmark, record_bench):
+    result, wall = timed(
+        benchmark, e2_accumstat_snr, kwargs={"max_iterations": 20}, rounds=3
     )
     assert result["snr_n"] > 1.5 * result["snr_1"]
     # Fig. 2's visual claim, literally: buried at n=1, unmistakable at 20.
@@ -28,4 +30,10 @@ def test_e2_accumstat_snr_series(benchmark, save_result):
         f"(ideal white-noise gain sqrt(20) = {result['sqrt_n']:.2f}); "
         "signal buried at n=1, dominant by n=20 — the Fig. 2 panels."
     )
-    save_result("e2_accumstat", table + footer)
+    record_bench(
+        "e2_accumstat",
+        seed=0,
+        wall_s=wall,
+        rows=[list(row) for row in result["series"]],
+        table=table + footer,
+    )

@@ -7,15 +7,16 @@ We measure makespan vs pipeline depth against the sequential and ideal-
 pipeline bounds: stages overlap, so gain approaches the stage count.
 """
 
+from benchlib import timed
+
 from repro.analysis import e3_pipeline_throughput, render_table
 
 
-def test_e3_pipeline_throughput(benchmark, save_result):
-    result = benchmark.pedantic(
+def test_e3_pipeline_throughput(benchmark, record_bench):
+    result, wall = timed(
+        benchmark,
         e3_pipeline_throughput,
-        kwargs={"stage_counts": (2, 4, 8), "iterations": 16},
-        rounds=1,
-        iterations=1,
+        kwargs={"stage_counts": (2, 4, 8), "iterations": 16, "trace": True},
     )
     rows = [
         (
@@ -31,9 +32,14 @@ def test_e3_pipeline_throughput(benchmark, save_result):
     for r in result["rows"]:
         assert r["makespan_s"] < 0.75 * r["sequential_s"]
         assert r["makespan_s"] >= 0.9 * r["ideal_pipeline_s"]
-    save_result(
+    record_bench(
         "e3_pipeline",
-        render_table(
+        seed=0,
+        wall_s=wall,
+        sim_s=result["rows"][-1]["makespan_s"],
+        tracer=result["tracer"],
+        rows=result["rows"],
+        table=render_table(
             ["stages", "makespan (s)", "sequential (s)", "ideal pipe (s)", "gain"],
             rows,
             title=f"E3  p2p pipeline over peers, {result['iterations']} frames",

@@ -7,15 +7,16 @@ We farm SPH column-density rendering over 1..8 peers and report the
 speedup curve.
 """
 
+from benchlib import timed
+
 from repro.analysis import e4_galaxy_speedup, render_table
 
 
-def test_e4_galaxy_speedup(benchmark, save_result):
-    result = benchmark.pedantic(
+def test_e4_galaxy_speedup(benchmark, record_bench):
+    result, wall = timed(
+        benchmark,
         e4_galaxy_speedup,
-        kwargs={"worker_counts": (1, 2, 4, 8), "n_frames": 16},
-        rounds=1,
-        iterations=1,
+        kwargs={"worker_counts": (1, 2, 4, 8), "n_frames": 16, "trace": True},
     )
     rows = [
         (r["workers"], r["makespan_s"], r["speedup"], r["efficiency"])
@@ -24,9 +25,14 @@ def test_e4_galaxy_speedup(benchmark, save_result):
     by_workers = {r["workers"]: r for r in result["rows"]}
     assert by_workers[4]["speedup"] > 3.0
     assert by_workers[8]["speedup"] > 5.0
-    save_result(
+    record_bench(
         "e4_galaxy",
-        render_table(
+        seed=0,
+        wall_s=wall,
+        sim_s=by_workers[8]["makespan_s"],
+        tracer=result["tracer"],
+        rows=result["rows"],
+        table=render_table(
             ["workers", "makespan (s)", "speedup", "efficiency"],
             rows,
             title=f"E4  galaxy render farm, {result['frames']} frames",

@@ -10,16 +10,17 @@ The cost model is calibrated so one chunk = 5 h on 2 GHz; the fleet
 simulation then finds the dedicated and consumer break-even points.
 """
 
+from benchlib import timed
+
 from repro.analysis import e5_inspiral_sizing, render_table
 from repro.apps.inspiral import PAPER_CHUNK_BYTES
 
 
-def test_e5_inspiral_sizing(benchmark, save_result):
-    result = benchmark.pedantic(
+def test_e5_inspiral_sizing(benchmark, record_bench):
+    result, wall = timed(
+        benchmark,
         e5_inspiral_sizing,
         kwargs={"peer_counts": (10, 15, 20, 25, 30, 40), "n_chunks": 60},
-        rounds=1,
-        iterations=1,
     )
     rows = [
         (
@@ -46,9 +47,12 @@ def test_e5_inspiral_sizing(benchmark, save_result):
         f"{result['analytic_consumer_pcs']:.0f} consumer peers at "
         f"{result['availability']:.0%} availability\n"
     )
-    save_result(
+    record_bench(
         "e5_inspiral",
-        header
+        seed=0,
+        wall_s=wall,
+        rows=result["rows"],
+        table=header
         + render_table(
             ["fleet", "peers", "mean lag (h)", "lag growth", "keeps up"],
             rows,

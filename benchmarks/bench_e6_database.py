@@ -9,6 +9,8 @@ We measure the discover→bind→execute sequence and check routing.
 
 import pytest
 
+from benchlib import timed
+
 from repro.analysis import render_table
 from repro.apps.database import (
     Database,
@@ -17,6 +19,7 @@ from repro.apps.database import (
     QuerySpec,
     run_pipeline,
 )
+from repro.observe import Tracer
 from repro.p2p import CentralIndexDiscovery, Peer, SimNetwork
 from repro.simkernel import Simulator
 
@@ -26,8 +29,8 @@ CSV = "name, kind, mass\n" + "\n".join(
 )
 
 
-def run_case3():
-    sim = Simulator(seed=11)
+def run_case3(trace=False):
+    sim = Simulator(seed=11, tracer=Tracer() if trace else None)
     net = SimNetwork(sim, jitter_fraction=0.0)
     disc = CentralIndexDiscovery(query_window=1.0)
     index = Peer("index", net)
@@ -64,11 +67,14 @@ def run_case3():
         "elapsed_s": sim.now - t0,
         "messages": net.stats.sent,
         "sites": [s.split("@")[1] for s in envelope["trail"]],
+        "tracer": sim.tracer if trace else None,
     }
 
 
-def test_e6_database_pipeline(benchmark, save_result):
-    result = benchmark.pedantic(run_case3, rounds=3, iterations=1)
+def test_e6_database_pipeline(benchmark, record_bench):
+    result, wall = timed(
+        benchmark, run_case3, kwargs={"trace": True}, rounds=3
+    )
     env = result["envelope"]
     assert env["report"]["ok"]
     assert len(env["table"]) == 10
@@ -92,4 +98,12 @@ def test_e6_database_pipeline(benchmark, save_result):
         f"discover+bind+execute: {result['elapsed_s']:.3f} s sim-time, "
         f"{result['messages']} messages"
     )
-    save_result("e6_database", table + footer)
+    record_bench(
+        "e6_database",
+        seed=11,
+        wall_s=wall,
+        sim_s=result["elapsed_s"],
+        tracer=result["tracer"],
+        rows=[list(r) for r in rows],
+        table=table + footer,
+    )

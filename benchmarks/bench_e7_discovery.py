@@ -8,15 +8,14 @@ index as prior art.  We make the claim quantitative: messages per query
 vs network size for all three strategies.
 """
 
+from benchlib import timed
+
 from repro.analysis import e7_discovery_scaling, render_table
 
 
-def test_e7_discovery_scaling(benchmark, save_result):
-    result = benchmark.pedantic(
-        e7_discovery_scaling,
-        kwargs={"sizes": (16, 64, 256)},
-        rounds=1,
-        iterations=1,
+def test_e7_discovery_scaling(benchmark, record_bench):
+    result, wall = timed(
+        benchmark, e7_discovery_scaling, kwargs={"sizes": (16, 64, 256)}
     )
     rows = [
         (r["peers"], r["strategy"], r["messages_per_query"], r["recall"],
@@ -36,9 +35,12 @@ def test_e7_discovery_scaling(benchmark, save_result):
     assert by[(256, "central")]["messages_per_query"] == 2
     for r in result["rows"]:
         assert r["recall"] == 1.0
-    save_result(
+    record_bench(
         "e7_discovery",
-        render_table(
+        seed=0,
+        wall_s=wall,
+        rows=result["rows"],
+        table=render_table(
             ["peers", "strategy", "msgs/query", "recall", "latency (s)"],
             rows,
             title="E7  discovery scaling (one query for all services)",

@@ -8,15 +8,16 @@ executable modules".  We measure the version-consistency / traffic trade
 and LRU behaviour under a Zipf module workload with periodic releases.
 """
 
+from benchlib import timed
+
 from repro.analysis import e8_mobility, render_table
 
 
-def test_e8_mobility(benchmark, save_result):
-    result = benchmark.pedantic(
+def test_e8_mobility(benchmark, record_bench):
+    result, wall = timed(
+        benchmark,
         e8_mobility,
         kwargs={"n_modules": 60, "n_requests": 300, "capacities": (4, 16, 64)},
-        rounds=1,
-        iterations=1,
     )
     rows = [
         (
@@ -41,9 +42,12 @@ def test_e8_mobility(benchmark, save_result):
     )
     # Constrained devices evict under pressure.
     assert by[("on_demand", 4)]["evictions"] > by[("on_demand", 64)]["evictions"]
-    save_result(
+    record_bench(
         "e8_mobility",
-        render_table(
+        seed=0,
+        wall_s=wall,
+        rows=result["rows"],
+        table=render_table(
             ["policy", "cache slots", "bytes dl", "messages", "evictions",
              "stale execs"],
             rows,

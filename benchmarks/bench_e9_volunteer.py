@@ -7,15 +7,16 @@ wanted access to a resource it would be a daunting task indeed for any
 administrator" vs "the creation of a single Globus account" with billing.
 """
 
+from benchlib import timed
+
 from repro.analysis import e9_volunteer_throughput, render_kv, render_table
 
 
-def test_e9_volunteer_throughput(benchmark, save_result):
-    result = benchmark.pedantic(
+def test_e9_volunteer_throughput(benchmark, record_bench):
+    result, wall = timed(
+        benchmark,
         e9_volunteer_throughput,
         kwargs={"fleet_sizes": (100, 500), "days": 7.0, "idle_fraction": 0.6},
-        rounds=1,
-        iterations=1,
     )
     rows = [
         (
@@ -50,4 +51,10 @@ def test_e9_volunteer_throughput(benchmark, save_result):
         ],
         title="\nadministration contrast (Globus per-user accounts vs Triana virtual account)",
     )
-    save_result("e9_volunteer", table + "\n" + contrast)
+    record_bench(
+        "e9_volunteer",
+        seed=0,
+        wall_s=wall,
+        rows={"rows": result["rows"], "admin": result["admin"]},
+        table=table + "\n" + contrast,
+    )

@@ -1,0 +1,103 @@
+"""Shared benchmark runner: wall timing + ``BENCH_<scenario>.json`` emission.
+
+Every ``bench_e*.py`` script routes its result through
+:func:`bench_payload` / :func:`write_bench` (via the ``record_bench``
+fixture in ``conftest.py``), producing one machine-readable JSON file
+per scenario in ``benchmarks/results/`` with a common schema:
+
+* ``schema`` — schema version;
+* ``scenario`` / ``seed`` — what ran and with which master seed;
+* ``wall_clock_s`` — real time for one run (the only non-deterministic
+  field; everything else is a pure function of the seed);
+* ``sim_time_s`` — modelled simulated seconds (makespan / horizon);
+* ``critical_path_s`` / ``slack_s`` / ``bottlenecks`` / ``fairness`` —
+  trace analytics from :mod:`repro.observe.analyze` when the bench ran
+  with a tracer attached (``null`` for analytic or untraced scenarios);
+* ``rows`` — the scenario's result rows (the data behind the table);
+* ``table`` — the rendered human-readable table, so ``EXPERIMENTS.md``
+  can still be regenerated without re-running anything.
+
+``tools/bench_gate.py`` compares the deterministic fields of freshly
+generated files against the committed baselines and fails CI on
+critical-path regressions beyond the tolerance band.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Any, Optional
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SCHEMA_VERSION = 1
+
+
+def timed(benchmark, fn, *, kwargs=None, rounds: int = 1, iterations: int = 1):
+    """Run ``fn`` under ``benchmark.pedantic`` and capture one call's wall time.
+
+    Returns ``(result, wall_seconds)`` where ``wall_seconds`` is the
+    last round's single-call wall clock (works with and without
+    ``--benchmark-disable``, unlike the plugin's stats object).
+    """
+    wall: dict[str, float] = {}
+
+    def wrapped(**kw):
+        t0 = time.perf_counter()
+        result = fn(**kw)
+        wall["s"] = time.perf_counter() - t0
+        return result
+
+    result = benchmark.pedantic(
+        wrapped, kwargs=kwargs or {}, rounds=rounds, iterations=iterations
+    )
+    return result, wall["s"]
+
+
+def bench_payload(
+    scenario: str,
+    *,
+    seed: int,
+    wall_s: float,
+    sim_s: Optional[float] = None,
+    tracer=None,
+    rows: Any = None,
+    table: Optional[str] = None,
+) -> dict[str, Any]:
+    """Build the common BENCH schema dict for one scenario."""
+    payload: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "scenario": scenario,
+        "seed": seed,
+        "wall_clock_s": wall_s,
+        "sim_time_s": sim_s,
+        "critical_path_s": None,
+        "critical_path_segments": None,
+        "slack_s": None,
+        "bottlenecks": None,
+        "fairness": None,
+        "rows": rows,
+        "table": table,
+    }
+    if tracer is not None:
+        from repro.observe import analyze
+
+        analysis = analyze(tracer)
+        payload["critical_path_s"] = analysis["critical_path"]["path_s"]
+        payload["critical_path_segments"] = len(
+            analysis["critical_path"]["segments"]
+        )
+        payload["slack_s"] = analysis["critical_path"]["slack_s"]
+        payload["bottlenecks"] = analysis["bottlenecks"]["fractions"]
+        payload["fairness"] = analysis["utilization"]["fairness"]
+        if payload["sim_time_s"] is None:
+            payload["sim_time_s"] = analysis["window"]["duration_s"]
+    return payload
+
+
+def write_bench(payload: dict[str, Any]) -> pathlib.Path:
+    """Write ``BENCH_<scenario>.json`` into ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{payload['scenario']}.json"
+    path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return path

@@ -1,28 +1,39 @@
 """Shared fixtures for the benchmark harness.
 
-Each bench prints its paper-comparable table *and* writes it to
-``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be regenerated /
-checked without re-running everything.
+Each bench computes its paper-comparable rows, then records them through
+``record_bench`` — writing a machine-readable
+``benchmarks/results/BENCH_<scenario>.json`` (see ``benchlib.py`` for
+the schema) that doubles as the committed baseline for the CI
+regression gate (``tools/bench_gate.py``).
 """
 
 from __future__ import annotations
 
 import pathlib
+import sys
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from benchlib import bench_payload, write_bench  # noqa: E402
 
 
 @pytest.fixture
-def save_result():
-    """Persist a rendered table; returns the path written."""
+def record_bench():
+    """Persist one scenario's BENCH JSON; returns the payload written."""
 
-    def _save(name: str, text: str) -> pathlib.Path:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n")
-        print(f"\n{text}\n[saved to {path}]")
-        return path
+    def _record(scenario, *, seed, wall_s, sim_s=None, tracer=None,
+                rows=None, table=None):
+        payload = bench_payload(
+            scenario, seed=seed, wall_s=wall_s, sim_s=sim_s, tracer=tracer,
+            rows=rows, table=table,
+        )
+        path = write_bench(payload)
+        if table:
+            print(f"\n{table}\n[saved to {path}]")
+        else:
+            print(f"\n[saved to {path}]")
+        return payload
 
-    return _save
+    return _record

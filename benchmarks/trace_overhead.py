@@ -6,10 +6,10 @@ default ``NullTracer``) and tracing enabled — and enforces two things:
 
 1. **Correctness / passivity**: the modelled makespans must be *exactly*
    equal in both modes and must match the recorded baseline in
-   ``benchmarks/results/e13_dispatch.txt``.  Tracing is passive by
-   contract (no events scheduled, no RNG drawn), so any drift at all is
-   a bug — this is the deterministic form of the "<5% regression" gate,
-   and it holds at 0%.
+   ``benchmarks/results/BENCH_e13_dispatch.json``.  Tracing is passive
+   by contract (no events scheduled, no RNG drawn), so any drift at all
+   is a bug — this is the deterministic form of the "<5% regression"
+   gate, and it holds at 0%.
 2. **Wall-clock sanity** (informational): best-of-N wall times for both
    modes are printed so CI logs show the real overhead ratio.  Wall time
    is not asserted — the workload runs in tens of milliseconds, where
@@ -22,7 +22,7 @@ Exit status 0 = gate passed.  Run directly or via CI:
 
 from __future__ import annotations
 
-import re
+import json
 import sys
 import time
 from pathlib import Path
@@ -37,7 +37,9 @@ from repro.observe import Tracer  # noqa: E402
 #: <5%; determinism means the observed drift is exactly 0.0)
 TOLERANCE = 0.05
 ROUNDS = 3
-BASELINE_FILE = Path(__file__).resolve().parent / "results" / "e13_dispatch.txt"
+BASELINE_FILE = (
+    Path(__file__).resolve().parent / "results" / "BENCH_e13_dispatch.json"
+)
 
 
 def run_once(dispatch: str, seed: int, traced: bool) -> tuple[float, float]:
@@ -51,14 +53,13 @@ def run_once(dispatch: str, seed: int, traced: bool) -> tuple[float, float]:
 
 
 def read_baseline() -> dict[str, float]:
-    """Parse recorded makespans out of results/e13_dispatch.txt."""
+    """Read recorded makespans from results/BENCH_e13_dispatch.json."""
     baselines: dict[str, float] = {}
     if not BASELINE_FILE.exists():
         return baselines
-    for line in BASELINE_FILE.read_text().splitlines():
-        match = re.match(r"(round_robin|weighted)\s+([0-9.]+)", line)
-        if match:
-            baselines[match.group(1)] = float(match.group(2))
+    payload = json.loads(BASELINE_FILE.read_text())
+    for row in payload.get("rows") or ():
+        baselines[row["dispatch"]] = float(row["makespan_s"])
     return baselines
 
 

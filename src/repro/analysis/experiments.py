@@ -104,18 +104,28 @@ def e2_accumstat_snr(max_iterations: int = 20) -> dict[str, Any]:
 
 
 def e3_pipeline_throughput(
-    stage_counts: tuple[int, ...] = (2, 4, 8), iterations: int = 16, seed: int = 0
+    stage_counts: tuple[int, ...] = (2, 4, 8), iterations: int = 16, seed: int = 0,
+    trace: bool = False,
 ) -> dict[str, Any]:
-    """Makespan/throughput of p2p pipelines of increasing depth."""
+    """Makespan/throughput of p2p pipelines of increasing depth.
+
+    ``trace=True`` records the deepest pipeline's run and returns its
+    tracer under ``"tracer"`` (tracing is passive, results unchanged).
+    """
     rows = []
+    tracer = None
     for n_stages in stage_counts:
+        traced = trace and n_stages == stage_counts[-1]
         grid = ConsumerGrid(
             n_workers=n_stages,
             seed=seed,
             worker_profile=LAN_PROFILE,
             controller_profile=LAN_PROFILE,
             worker_efficiency=1e-5,
+            trace=traced,
         )
+        if traced:
+            tracer = grid.sim.tracer
         report = grid.run(pipeline_graph(n_stages), iterations=iterations)
         stage_time = max(
             w.stats.busy_seconds / max(w.stats.iterations, 1)
@@ -133,7 +143,7 @@ def e3_pipeline_throughput(
                 "pipeline_gain": sequential / report.makespan,
             }
         )
-    return {"iterations": iterations, "rows": rows}
+    return {"iterations": iterations, "rows": rows, "tracer": tracer}
 
 
 # -- E4: Case 1 — galaxy frame farm speedup -------------------------------------------
@@ -145,22 +155,32 @@ def e4_galaxy_speedup(
     n_particles: int = 400,
     resolution: int = 32,
     seed: int = 0,
+    trace: bool = False,
 ) -> dict[str, Any]:
-    """Render-farm makespan vs worker count ("a fraction of the time")."""
+    """Render-farm makespan vs worker count ("a fraction of the time").
+
+    ``trace=True`` records the widest configuration's run and returns
+    its tracer under ``"tracer"`` (tracing is passive, rows unchanged).
+    """
     from ..apps.galaxy import build_galaxy_graph, generate_snapshots
 
     rows = []
     t1 = None
+    tracer = None
     for k in worker_counts:
         key = f"e4-dataset-{seed}-{k}"
         generate_snapshots(n_frames, n_particles, seed=seed, register_as=key)
+        traced = trace and k == worker_counts[-1]
         grid = ConsumerGrid(
             n_workers=k,
             seed=seed,
             worker_profile=LAN_PROFILE,
             controller_profile=LAN_PROFILE,
             worker_efficiency=1e-5,
+            trace=traced,
         )
+        if traced:
+            tracer = grid.sim.tracer
         graph = build_galaxy_graph(key, resolution=resolution, policy="parallel")
         report = grid.run(graph, iterations=n_frames)
         if t1 is None:
@@ -173,7 +193,7 @@ def e4_galaxy_speedup(
                 "efficiency": parallel_efficiency(t1, report.makespan, k),
             }
         )
-    return {"frames": n_frames, "rows": rows}
+    return {"frames": n_frames, "rows": rows, "tracer": tracer}
 
 
 # -- E5: Case 2 — inspiral real-time sizing under churn --------------------------------
@@ -589,19 +609,30 @@ def e14_split_axis(
 # -- E10: distribution-policy / granularity ablation -------------------------------------
 
 
-def e10_policy_ablation(iterations: int = 16, seed: int = 0) -> dict[str, Any]:
-    """Same workload under parallel vs p2p policy, and granularity sweep."""
+def e10_policy_ablation(
+    iterations: int = 16, seed: int = 0, trace: bool = False
+) -> dict[str, Any]:
+    """Same workload under parallel vs p2p policy, and granularity sweep.
+
+    ``trace=True`` records the p2p-policy run and returns its tracer
+    under ``"tracer"`` (tracing is passive, rows unchanged).
+    """
     rows = []
+    tracer = None
     for policy in ("parallel", "p2p"):
         g = pipeline_graph(4)
         g.task("Chain").policy = policy
+        traced = trace and policy == "p2p"
         grid = ConsumerGrid(
             n_workers=4,
             seed=seed,
             worker_profile=LAN_PROFILE,
             controller_profile=LAN_PROFILE,
             worker_efficiency=1e-5,
+            trace=traced,
         )
+        if traced:
+            tracer = grid.sim.tracer
         report = grid.run(g, iterations=iterations)
         rows.append(
             {
@@ -631,4 +662,4 @@ def e10_policy_ablation(iterations: int = 16, seed: int = 0) -> dict[str, Any]:
                 "bytes_sent": grid.network.stats.bytes_sent,
             }
         )
-    return {"policies": rows, "granularity": granularity}
+    return {"policies": rows, "granularity": granularity, "tracer": tracer}

@@ -6,6 +6,7 @@ The headless counterpart of the Triana GUI::
     python -m repro run fig1.xml -n 20 --probe Accum
     python -m repro run fig1.xml -n 20 --workers 4    # simulated grid
     python -m repro convert fig1.xml --to wsfl        # format bridge
+    python -m repro analyze run.jsonl                 # why was it slow?
 
 Graph files may be in any of the three §3.1 formats (native taskgraph
 XML, WSFL, Petri net); the format is sniffed from the root element.
@@ -114,8 +115,9 @@ def _cmd_run(args) -> int:
     graph = load_graph_text(text, args.from_format)
     probes = tuple(args.probe or ())
     if args.workers == 0:
-        if args.trace_out:
-            print("error: --trace-out needs a simulated grid (--workers > 0)",
+        if args.trace_out or args.metrics_out:
+            flag = "--trace-out" if args.trace_out else "--metrics-out"
+            print(f"error: {flag} needs a simulated grid (--workers > 0)",
                   file=sys.stderr)
             return 1
         engine = LocalEngine(graph)
@@ -144,12 +146,14 @@ def _cmd_run(args) -> int:
     )
     report = grid.run(
         graph, iterations=args.iterations, probes=probes, dispatch=args.dispatch,
-        trace_out=args.trace_out,
+        trace_out=args.trace_out, metrics_out=args.metrics_out,
     )
     if args.trace_out:
         summary = report.tracing
         print(f"trace written to {args.trace_out} "
               f"({summary.get('spans', 0)} spans, {summary.get('events', 0)} events)")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     print(render_kv(
         [
             ("mode", f"simulated grid ({args.workers} workers, "
@@ -165,6 +169,25 @@ def _cmd_run(args) -> int:
     ))
     for name, values in report.probe_values.items():
         print(f"probe {name}: {len(values)} values")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    import json as _json
+
+    from .observe import analyze, compare_runs, doctor, render_diff
+
+    if args.diff is not None:
+        diff = compare_runs(args.trace, args.diff, threshold_pct=args.threshold)
+        if args.json:
+            print(_json.dumps(diff, sort_keys=True, indent=2))
+        else:
+            print(render_diff(diff), end="")
+        return 1 if (args.fail_on_regression and diff["regressions"]) else 0
+    if args.json:
+        print(_json.dumps(analyze(args.trace), sort_keys=True, indent=2))
+    else:
+        print(doctor(args.trace), end="")
     return 0
 
 
@@ -206,11 +229,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="task name to observe (repeatable)")
     p_run.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write a run trace (.json = Chrome/Perfetto, "
-                            ".jsonl = event log, else text timeline); "
-                            "grid mode only")
+                            ".jsonl = event log, .txt/.log = text "
+                            "timeline); grid mode only")
+    p_run.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the run's metrics registry snapshot "
+                            "as JSON; grid mode only")
     p_run.add_argument("--from-format", default="auto",
                        choices=("auto", *FORMATS))
     p_run.set_defaults(fn=_cmd_run)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="analyze a run trace: critical path, per-peer utilization, "
+             "bottleneck attribution, run diffing",
+    )
+    p_analyze.add_argument("trace",
+                           help="trace file from --trace-out "
+                                "(.jsonl event log or .json Chrome trace)")
+    p_analyze.add_argument("--diff", default=None, metavar="OTHER",
+                           help="compare against a second trace "
+                                "(trace = baseline, OTHER = candidate)")
+    p_analyze.add_argument("--threshold", type=float, default=5.0,
+                           help="regression threshold in %% for --diff "
+                                "(default 5)")
+    p_analyze.add_argument("--fail-on-regression", action="store_true",
+                           help="exit 1 if --diff finds regressions over "
+                                "the threshold")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit the analysis as JSON instead of text")
+    p_analyze.set_defaults(fn=_cmd_analyze)
     return parser
 
 

@@ -22,7 +22,7 @@ from .core.registry import UnitRegistry, global_registry
 from .core.taskgraph import TaskGraph
 from .mobility.repository import ModuleRepository
 from .mobility.sandbox import SandboxPolicy
-from .observe import Tracer, write_trace
+from .observe import Tracer, write_metrics, write_trace
 from .p2p.discovery import (
     CentralIndexDiscovery,
     DiscoveryService,
@@ -237,17 +237,20 @@ class ConsumerGrid:
         run_until: Optional[float] = None,
         dispatch: str = "round_robin",
         trace_out: Optional[str] = None,
+        metrics_out: Optional[str] = None,
     ) -> RunReport:
         """Deploy and execute a task graph; blocks until completion.
 
         ``workers`` defaults to every discovered worker; ``dispatch``
         selects the farm policy (``round_robin`` | ``weighted``).
         ``trace_out`` writes the run's trace to that path afterwards
-        (``.json`` → Chrome/Perfetto, ``.jsonl`` → event log, else a
-        text timeline); tracing is switched on for the run if it wasn't
+        (``.json`` → Chrome/Perfetto, ``.jsonl`` → event log,
+        ``.txt``/``.log`` → text timeline); ``metrics_out`` writes the
+        run's :class:`~repro.observe.metrics.MetricsRegistry` snapshot
+        as JSON.  Either switches tracing on for the run if it wasn't
         already.
         """
-        if trace_out is not None and not self.sim.tracer.enabled:
+        if (trace_out is not None or metrics_out is not None) and not self.sim.tracer.enabled:
             # Late opt-in: swap the recording tracer in before discovery
             # so the run's p2p/mobility/service spans are all captured.
             self.sim.install_tracer(Tracer())
@@ -270,4 +273,6 @@ class ConsumerGrid:
             report.recovery["faults"] = self.fault_injector.summary()
         if trace_out is not None:
             write_trace(self.sim.tracer, trace_out)
+        if metrics_out is not None:
+            write_metrics(self.sim.tracer, metrics_out)
         return report

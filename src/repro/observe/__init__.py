@@ -11,7 +11,12 @@ the minimal progress stream into a first-class observability layer:
 * :mod:`repro.observe.metrics` — a :class:`MetricsRegistry` of counters,
   gauges and histograms with deterministic bucketing;
 * :mod:`repro.observe.export` — exporters: Chrome/Perfetto trace JSON,
-  a JSONL event log, and a plain-text per-peer timeline.
+  a JSONL event log, a plain-text per-peer timeline, and a metrics
+  snapshot dump;
+* :mod:`repro.observe.analyze` — trace analytics over a live tracer or
+  an exported trace: critical-path extraction, per-peer utilization,
+  bottleneck attribution, run diffing, and the ``doctor()`` report
+  behind ``repro analyze``.
 
 Tracing is strictly *passive*: it never schedules simulation events and
 never draws randomness, so a traced run is bit-identical to an untraced
@@ -20,11 +25,23 @@ one and two traced runs with the same seed emit identical trace files.
 See ``docs/observability.md`` for the full guide.
 """
 
+from .analyze import (
+    TraceView,
+    analyze,
+    bottlenecks,
+    compare_runs,
+    critical_path,
+    doctor,
+    load_trace,
+    render_diff,
+    utilization,
+)
 from .export import (
     chrome_trace,
     jsonl_lines,
     text_timeline,
     trace_summary,
+    write_metrics,
     write_trace,
 )
 from .metrics import (
@@ -47,11 +64,21 @@ __all__ = [
     "SpanHandle",
     "SpanRecord",
     "TraceEvent",
+    "TraceView",
     "Tracer",
+    "analyze",
+    "bottlenecks",
     "chrome_trace",
+    "compare_runs",
+    "critical_path",
+    "doctor",
     "geometric_bounds",
     "jsonl_lines",
+    "load_trace",
+    "render_diff",
     "text_timeline",
     "trace_summary",
+    "utilization",
+    "write_metrics",
     "write_trace",
 ]

@@ -11,7 +11,8 @@ live progress pages.  Three formats, chosen by file extension in
   ``chrome://tracing``; each peer renders as its own thread row.
 * ``.jsonl`` — one self-describing JSON object per span/event, in
   simulated-time order; the machine-friendly event log.
-* ``.txt`` — a plain-text per-peer timeline, readable in a terminal.
+* ``.txt`` / ``.log`` — a plain-text per-peer timeline, readable in a
+  terminal.
 
 All exports are byte-deterministic for a given trace: tracks map to
 thread ids in sorted order, events are sorted by (time, id), and JSON is
@@ -28,6 +29,7 @@ __all__ = [
     "jsonl_lines",
     "text_timeline",
     "trace_summary",
+    "write_metrics",
     "write_trace",
 ]
 
@@ -212,21 +214,38 @@ def trace_summary(tracer) -> dict[str, Any]:
     return tracer.summary()
 
 
+#: extension → format map for ``write_trace(..., fmt="auto")``
+_EXTENSION_FORMATS = {
+    ".json": "chrome",
+    ".jsonl": "jsonl",
+    ".txt": "text",
+    ".log": "text",
+}
+
+
 def write_trace(tracer, path: str, fmt: str = "auto") -> str:
     """Write the trace to ``path``; returns the format actually used.
 
     ``fmt`` may be ``chrome`` (Perfetto-loadable JSON), ``jsonl``,
     ``text``, or ``auto`` to pick by extension (``.json`` → chrome,
-    ``.jsonl`` → jsonl, anything else → text).
+    ``.jsonl`` → jsonl, ``.txt``/``.log`` → text).  An unknown extension
+    with ``fmt="auto"`` raises :class:`ValueError` naming the supported
+    extensions; pass an explicit ``fmt`` to override a mismatched (or
+    missing) extension.
     """
     if fmt == "auto":
         lowered = path.lower()
-        if lowered.endswith(".jsonl"):
-            fmt = "jsonl"
-        elif lowered.endswith(".json"):
-            fmt = "chrome"
+        for extension, mapped in _EXTENSION_FORMATS.items():
+            if lowered.endswith(extension):
+                fmt = mapped
+                break
         else:
-            fmt = "text"
+            known = "/".join(sorted(_EXTENSION_FORMATS))
+            raise ValueError(
+                f"cannot infer trace format from {path!r}: supported "
+                f"extensions are {known}; pass fmt='chrome'/'jsonl'/'text' "
+                "to override"
+            )
     if fmt == "chrome":
         payload = json.dumps(
             chrome_trace(tracer), sort_keys=True, default=_json_default
@@ -240,3 +259,18 @@ def write_trace(tracer, path: str, fmt: str = "auto") -> str:
     with open(path, "w") as fh:
         fh.write(payload)
     return fmt
+
+
+def write_metrics(tracer, path: str) -> dict[str, Any]:
+    """Dump the tracer's :class:`MetricsRegistry` snapshot as JSON.
+
+    The sibling of :func:`write_trace` for quantities rather than
+    timelines: one JSON document keyed by metric name, each value a
+    self-describing instrument snapshot.  Returns the snapshot written.
+    Byte-deterministic for a given run (sorted keys, fixed bucketing).
+    """
+    snapshot = tracer.metrics.snapshot()
+    with open(path, "w") as fh:
+        fh.write(json.dumps(snapshot, sort_keys=True, default=_json_default))
+        fh.write("\n")
+    return snapshot

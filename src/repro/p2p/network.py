@@ -178,7 +178,17 @@ class SimNetwork:
     # -- liveness -------------------------------------------------------------
     def set_online(self, node_id: str, online: bool) -> None:
         self._require(node_id)
+        if self._online[node_id] == online:
+            return
         self._online[node_id] = online
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            # Liveness transitions feed the analyzer's per-peer
+            # unavailable-time accounting (repro.observe.analyze).
+            tracer.instant(
+                "peer.online" if online else "peer.offline",
+                category="p2p", track=node_id,
+            )
 
     def is_online(self, node_id: str) -> bool:
         self._require(node_id)

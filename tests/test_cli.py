@@ -95,3 +95,67 @@ class TestCommands:
 
     def test_formats_constant(self):
         assert FORMATS == ("native", "wsfl", "petrinet")
+
+
+class TestObservabilityFlags:
+    def test_metrics_out_writes_json(self, graph_file, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "run", graph_file, "-n", "4", "--workers", "2",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        assert "metrics written to" in capsys.readouterr().out
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["sim.events_executed"]["value"] > 0
+
+    def test_metrics_out_needs_grid(self, graph_file, tmp_path, capsys):
+        assert main([
+            "run", graph_file, "--metrics-out", str(tmp_path / "m.json"),
+        ]) == 1
+        assert "--metrics-out" in capsys.readouterr().err
+
+    def test_trace_and_metrics_together(self, graph_file, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "run", graph_file, "-n", "4", "--workers", "2",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        assert trace.exists() and metrics.exists()
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture
+    def trace_file(self, graph_file, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main([
+            "run", graph_file, "-n", "4", "--workers", "2",
+            "--trace-out", str(path),
+        ]) == 0
+        return str(path)
+
+    def test_doctor_report(self, trace_file, capsys):
+        assert main(["analyze", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out.lower()
+        assert "bottleneck" in out.lower()
+
+    def test_json_output(self, trace_file, capsys):
+        import json
+
+        assert main(["analyze", trace_file, "--json"]) == 0
+        bundle = json.loads(capsys.readouterr().out)
+        assert set(bundle) >= {"critical_path", "utilization", "bottlenecks"}
+
+    def test_self_diff_passes_gate(self, trace_file, capsys):
+        assert main([
+            "analyze", trace_file, "--diff", trace_file,
+            "--fail-on-regression",
+        ]) == 0
+        assert "diff" in capsys.readouterr().out.lower()
+
+    def test_missing_trace_is_error_2(self, capsys):
+        assert main(["analyze", "/no/such/trace.jsonl"]) == 2
+        assert "error" in capsys.readouterr().err

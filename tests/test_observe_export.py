@@ -136,3 +136,101 @@ def test_trace_summary_matches_tracer():
     assert trace_summary(t) == t.summary()
     assert trace_summary(t)["spans"] == 3
     assert trace_summary(t)["open_spans"] == 1
+
+
+class TestWriteTraceStrictExtensions:
+    def test_unknown_extension_lists_supported(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError) as exc:
+            write_trace(_sample_tracer(), str(tmp_path / "trace.csv"))
+        message = str(exc.value)
+        for extension in (".json", ".jsonl", ".txt", ".log"):
+            assert extension in message
+        assert "fmt=" in message
+
+    def test_no_extension_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            write_trace(_sample_tracer(), str(tmp_path / "trace"))
+
+    def test_log_extension_maps_to_text(self, tmp_path):
+        assert write_trace(_sample_tracer(), str(tmp_path / "a.log")) == "text"
+        assert "timeline" in (tmp_path / "a.log").read_text()
+
+    def test_explicit_fmt_overrides_mismatched_extension(self, tmp_path):
+        # .txt would sniff to text; fmt= must win and write Chrome JSON.
+        path = tmp_path / "trace.txt"
+        assert write_trace(_sample_tracer(), str(path), fmt="chrome") == "chrome"
+        assert "traceEvents" in json.loads(path.read_text())
+
+    def test_explicit_fmt_allows_unknown_extension(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        assert write_trace(_sample_tracer(), str(path), fmt="jsonl") == "jsonl"
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestWriteMetrics:
+    def test_round_trip_matches_snapshot(self, tmp_path):
+        from repro.observe import write_metrics
+
+        t = _sample_tracer()
+        t.metrics.counter("demo.count").inc(3)
+        path = tmp_path / "metrics.json"
+        snapshot = write_metrics(t, str(path))
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(snapshot, default=lambda v: v.item())
+        )
+        assert snapshot["demo.count"]["value"] == 3
+
+    def test_deterministic_bytes(self, tmp_path):
+        from repro.observe import write_metrics
+
+        p1, p2 = tmp_path / "m1.json", tmp_path / "m2.json"
+        write_metrics(_sample_tracer(), str(p1))
+        write_metrics(_sample_tracer(), str(p2))
+        assert p1.read_bytes() == p2.read_bytes()
+
+
+class TestSummaryAndTimelineEdgeCases:
+    def test_empty_tracer_summary(self):
+        t = Tracer()
+        s = trace_summary(t)
+        assert s["spans"] == 0 and s["events"] == 0 and s["open_spans"] == 0
+        assert s["spans_by_category"] == {}
+
+    def test_empty_tracer_timeline(self):
+        text = text_timeline(Tracer())
+        assert text.startswith("timeline")
+        assert text.endswith("\n")
+
+    def test_unfinished_span_rendered_open_ended(self):
+        t = Tracer()
+        clock = {"now": 1.5}
+        t.attach_clock(lambda: clock["now"])
+        t.begin("worker.exec", category="service", track="w0")  # never ended
+        text = text_timeline(t)
+        assert "worker.exec" in text
+        assert "…" in text  # open end marker
+        assert trace_summary(t)["open_spans"] == 1
+
+    def test_zero_duration_run(self):
+        t = Tracer()
+        t.attach_clock(lambda: 0.0)
+        t.begin("sim.run", category="simkernel", track="sim").end()
+        text = text_timeline(t)
+        assert "sim.run" in text
+        s = trace_summary(t)
+        assert s["spans"] == 1 and s["open_spans"] == 0
+
+    def test_narrow_width_truncates_rows(self):
+        t = _sample_tracer()
+        wide = text_timeline(t, width=100)
+        narrow = text_timeline(t, width=10)
+        assert len(narrow) <= len(wide)
+        # every data row respects the clamp (header/track lines exempt)
+        for line in narrow.splitlines():
+            if line.startswith("  ["):
+                assert len(line) <= 12
