@@ -254,6 +254,9 @@ class ConsumerGrid:
             # Late opt-in: swap the recording tracer in before discovery
             # so the run's p2p/mobility/service spans are all captured.
             self.sim.install_tracer(Tracer())
+            # Liveness transitions before the install were unrecorded;
+            # seed them so already-offline peers count as unavailable.
+            self.network.trace_liveness_snapshot()
         if workers is None:
             workers = self.discover_workers()
         done = self.controller.run_distributed(

@@ -23,8 +23,8 @@ or Chrome/Perfetto JSON, as written by
   network-transfer buckets by a priority sweep over span intervals.
   The buckets partition the run window, so they always sum to 100 %.
 * :func:`compare_runs` — aligns two runs by span (name, track) and
-  reports total/mean duration deltas plus headline wall-clock,
-  critical-path and bottleneck regressions.
+  reports total/mean duration deltas plus headline run-window
+  (simulated-time), critical-path and bottleneck regressions.
 
 :func:`analyze` bundles the first three into one dict; :func:`doctor`
 renders it as a terminal report (the ``repro analyze`` subcommand).
@@ -237,6 +237,9 @@ def load_trace(source: Union[str, "TraceView", Any]) -> TraceView:
         return _view_from_jsonl(text.splitlines())
     if isinstance(doc, dict) and "traceEvents" in doc:
         return _view_from_chrome(doc)
+    if isinstance(doc, dict) and doc.get("type") in ("span", "event"):
+        # A one-record JSONL log parses as a single JSON dict.
+        return _view_from_jsonl(text.splitlines())
     if isinstance(doc, dict):
         raise ValueError(
             f"{source}: JSON document is not a Chrome/Perfetto trace "
@@ -336,9 +339,18 @@ def critical_path(source) -> dict[str, Any]:
 
     cur = max(leaves, key=_rank)
     chain: list[VSpan] = []
+    visited: set[int] = set()
     while cur is not None:
         chain.append(cur)
-        preds = [s for s in leaves if s.end <= cur.start and s.end > lo]
+        visited.add(cur.span_id)
+        # A zero-duration span satisfies its own predecessor predicate
+        # (end == start <= its own start), so exclude visited spans to
+        # guarantee termination even on traces with dur:0 leaves.
+        preds = [
+            s
+            for s in leaves
+            if s.end <= cur.start and s.end > lo and s.span_id not in visited
+        ]
         cur = max(preds, key=_rank) if preds else None
     chain.reverse()
 
@@ -614,8 +626,9 @@ def compare_runs(a, b, threshold_pct: float = 5.0) -> dict[str, Any]:
     """Diff two runs, aligned by span (name, track).
 
     ``a`` is the baseline, ``b`` the candidate; positive deltas mean
-    ``b`` is slower.  Returns headline deltas (wall clock, critical
-    path, slack, bottleneck buckets), per-span-group deltas sorted by
+    ``b`` is slower.  Returns headline deltas (run-window simulated
+    time — the BENCH schema's ``sim_time_s``, *not* real wall-clock —
+    critical path, slack, bottleneck buckets), per-span-group deltas sorted by
     largest absolute regression in total time, and ``regressions`` —
     the groups whose total slowed by more than ``threshold_pct``.
     """
@@ -805,7 +818,7 @@ def render_diff(diff: dict[str, Any], max_rows: int = 20) -> str:
 
     out: list[str] = ["run diff (a = baseline, b = candidate)"]
     head_rows = [
-        ("wall clock", f"{diff['wall']['a']:.3f}", f"{diff['wall']['b']:.3f}",
+        ("window (sim s)", f"{diff['wall']['a']:.3f}", f"{diff['wall']['b']:.3f}",
          _delta(diff["wall"])),
         ("critical path", f"{diff['critical_path']['a']:.3f}",
          f"{diff['critical_path']['b']:.3f}", _delta(diff["critical_path"])),

@@ -194,6 +194,23 @@ class SimNetwork:
         self._require(node_id)
         return self._online[node_id]
 
+    def trace_liveness_snapshot(self) -> None:
+        """Record a ``peer.offline`` instant for every offline node.
+
+        :meth:`set_online` only traces *transitions*, so when a tracer
+        is installed late (the ``trace_out`` opt-in in
+        :meth:`ConsumerGrid.run <repro.grid.ConsumerGrid.run>`), peers
+        already offline would otherwise look idle — not unavailable —
+        to the analyzer's utilization accounting.  Call this right
+        after installing a tracer to seed initial liveness.
+        """
+        tracer = self.sim.tracer
+        if not tracer.enabled:
+            return
+        for node_id in sorted(self._online):
+            if not self._online[node_id]:
+                tracer.instant("peer.offline", category="p2p", track=node_id)
+
     # -- straggler injection ---------------------------------------------------
     def set_speed_factor(self, node_id: str, factor: float) -> None:
         """Scale a node's effective CPU speed (straggler slowdown).

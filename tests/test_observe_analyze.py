@@ -82,6 +82,27 @@ class TestCriticalPath:
         cp = critical_path(Tracer())
         assert cp["segments"] == [] and cp["path_s"] == 0.0
 
+    def test_zero_duration_leaf_terminates(self):
+        # A dur:0 span satisfies its own predecessor predicate
+        # (end == start); backward chaining must not loop on it.
+        tracer = Tracer()
+        clock = {"now": 0.0}
+        tracer.attach_clock(lambda: clock["now"])
+        run = tracer.begin("sim.run", category="simkernel", track="sim")
+        clock["now"] = 1.0
+        zero = tracer.begin("worker.exec", category="service", track="worker-0")
+        zero.end()  # zero-duration, strictly inside the window
+        clock["now"] = 2.0
+        work = tracer.begin("worker.exec", category="service", track="worker-1")
+        clock["now"] = 3.0
+        work.end()
+        run.end()
+        cp = critical_path(tracer)
+        assert len(cp["segments"]) == 2
+        assert cp["path_s"] + cp["slack_s"] == pytest.approx(
+            cp["window"]["duration_s"], abs=1e-12
+        )
+
 
 class TestBottlenecks:
     def test_buckets_partition_window(self):
@@ -148,6 +169,32 @@ class TestUtilization:
         ]
         assert names == ["peer.offline", "peer.online"]
 
+    def test_late_tracer_install_snapshots_offline_peers(self, tmp_path):
+        # With the late trace_out opt-in, liveness transitions before
+        # the tracer install are unrecorded; the install must seed a
+        # peer.offline instant so the analyzer counts the peer as
+        # unavailable, not idle, from window start.
+        _reset_global_ids()
+        grid = ConsumerGrid(
+            n_workers=2,
+            seed=7,
+            worker_profile=LAN_PROFILE,
+            controller_profile=LAN_PROFILE,
+            worker_efficiency=1e-5,
+        )
+        grid.network.set_online("worker-1", False)  # before tracing starts
+        grid.run(
+            pipeline_graph(2),
+            iterations=2,
+            workers=["worker-0"],
+            trace_out=str(tmp_path / "late.jsonl"),
+        )
+        offline = [
+            e for e in grid.sim.tracer.events
+            if e.track == "worker-1" and e.name == "peer.offline"
+        ]
+        assert offline, "install-time snapshot must record the offline peer"
+
 
 class TestLoadTrace:
     def test_jsonl_round_trip_exact(self, tmp_path):
@@ -167,6 +214,26 @@ class TestLoadTrace:
         assert loaded["path_s"] + loaded["slack_s"] == pytest.approx(
             loaded["window"]["duration_s"], abs=1e-9
         )
+
+    def test_single_record_jsonl(self, tmp_path):
+        # One line parses as a single JSON dict; it must still be
+        # recognised as a JSONL record, not rejected as a bad document.
+        path = tmp_path / "one.jsonl"
+        path.write_text(json.dumps({
+            "type": "span", "id": 1, "parent": None, "name": "worker.exec",
+            "category": "service", "track": "worker-0",
+            "start": 0.0, "end": 1.0, "attrs": {},
+        }) + "\n")
+        view = load_trace(str(path))
+        assert [s.name for s in view.spans] == ["worker.exec"]
+
+        path = tmp_path / "one_event.jsonl"
+        path.write_text(json.dumps({
+            "type": "event", "name": "net.send", "category": "p2p",
+            "track": "worker-0", "time": 0.5, "attrs": {},
+        }) + "\n")
+        view = load_trace(str(path))
+        assert not view.spans and [e.name for e in view.events] == ["net.send"]
 
     def test_rejects_non_trace_json(self, tmp_path):
         path = tmp_path / "other.json"
