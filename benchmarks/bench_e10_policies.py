@@ -4,7 +4,9 @@ Paper anchor (§3.3): the two shipped policies ("Parallel is a farming out
 mechanism ... Peer to Peer means distributing the group vertically") and
 the grouping design decision ("the user has the complete control of
 choosing the desired level of granularity").  We run the same workload
-under both policies and sweep the group width.
+under both paper policies plus the batching ``chunked`` farm, and sweep
+the group width.  The traced run is the chunked one, so the committed
+baseline gates the batching critical path.
 """
 
 from benchlib import timed
@@ -24,16 +26,19 @@ def test_e10_policy_ablation(benchmark, record_bench):
         (g["group_width"], g["makespan_s"], g["bytes_sent"])
         for g in result["granularity"]
     ]
-    # Both policies complete; the farm of a whole 4-stage group beats the
-    # 4-stage chain here because every farmed iteration runs all stages on
-    # one peer (no inter-stage hops) while the chain pays pipeline fill.
+    # All three policies complete; the farm of a whole 4-stage group beats
+    # the 4-stage chain here because every farmed iteration runs all stages
+    # on one peer (no inter-stage hops) while the chain pays pipeline fill.
     assert all(r["makespan_s"] > 0 for r in result["policies"])
+    assert {r["policy"] for r in result["policies"]} == {
+        "parallel", "p2p", "chunked"
+    }
     # Finer granularity ships more, smaller messages.
     assert gran_rows[0][2] < gran_rows[-1][2] * 2  # sanity: same order
     table_a = render_table(
         ["policy", "stages", "makespan (s)", "throughput (1/s)"],
         policy_rows,
-        title="E10a  parallel vs p2p policy on a 4-stage group",
+        title="E10a  parallel vs p2p vs chunked policy on a 4-stage group",
     )
     table_b = render_table(
         ["group width", "makespan (s)", "bytes on the wire"],

@@ -612,17 +612,18 @@ def e14_split_axis(
 def e10_policy_ablation(
     iterations: int = 16, seed: int = 0, trace: bool = False
 ) -> dict[str, Any]:
-    """Same workload under parallel vs p2p policy, and granularity sweep.
+    """Same workload under parallel / p2p / chunked policy, plus granularity.
 
-    ``trace=True`` records the p2p-policy run and returns its tracer
-    under ``"tracer"`` (tracing is passive, rows unchanged).
+    ``trace=True`` records the chunked-policy run and returns its tracer
+    under ``"tracer"`` (tracing is passive, rows unchanged) so the bench
+    gate watches the batching critical path.
     """
     rows = []
     tracer = None
-    for policy in ("parallel", "p2p"):
+    for policy in ("parallel", "p2p", "chunked"):
         g = pipeline_graph(4)
         g.task("Chain").policy = policy
-        traced = trace and policy == "p2p"
+        traced = trace and policy == "chunked"
         grid = ConsumerGrid(
             n_workers=4,
             seed=seed,

@@ -3,6 +3,7 @@
 The headless counterpart of the Triana GUI::
 
     python -m repro units --category signal     # browse the toolbox
+    python -m repro policies                    # distribution policies
     python -m repro run fig1.xml -n 20 --probe Accum
     python -m repro run fig1.xml -n 20 --workers 4    # simulated grid
     python -m repro convert fig1.xml --to wsfl        # format bridge
@@ -82,6 +83,23 @@ def _cmd_units(args) -> int:
         ],
         title=f"{len(hits)} units registered",
     ))
+    return 0
+
+
+def _cmd_policies(args) -> int:
+    from .service.placement import dispatch_policy_names
+    from .service.policies import global_policy_registry
+
+    registry = global_policy_registry()
+    print(render_table(
+        ["policy", "class", "summary"],
+        [
+            (d.name, d.cls.__name__, d.summary)
+            for d in sorted(registry, key=lambda d: d.name)
+        ],
+        title=f"{len(registry)} distribution policies registered",
+    ))
+    print(f"farm dispatch ( --dispatch ): {', '.join(dispatch_policy_names())}")
     return 0
 
 
@@ -202,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_units.add_argument("--search", default=None)
     p_units.set_defaults(fn=_cmd_units)
 
+    p_policies = sub.add_parser(
+        "policies", help="list registered group distribution policies"
+    )
+    p_policies.set_defaults(fn=_cmd_policies)
+
     p_validate = sub.add_parser("validate", help="type-check a task graph file")
     p_validate.add_argument("graph")
     p_validate.add_argument("--from-format", default="auto",
@@ -223,8 +246,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--discovery", default="central",
                        choices=("central", "flooding", "rendezvous"))
+    from .service.placement import dispatch_policy_names
+
     p_run.add_argument("--dispatch", default="round_robin",
-                       choices=("round_robin", "weighted"))
+                       choices=dispatch_policy_names())
     p_run.add_argument("--probe", action="append",
                        help="task name to observe (repeatable)")
     p_run.add_argument("--trace-out", default=None, metavar="PATH",

@@ -28,7 +28,15 @@ from .errors import (
     WorkflowError,
 )
 from .registry import UnitDescriptor, UnitRegistry, global_registry, register_unit
-from .taskgraph import GROUP_POLICIES, Connection, GroupTask, Task, TaskGraph
+from .taskgraph import (
+    GROUP_POLICIES,
+    Connection,
+    GroupTask,
+    Task,
+    TaskGraph,
+    known_policy_names,
+    register_policy_name,
+)
 from .types import (
     AnyType,
     ComplexSpectrum,
@@ -104,7 +112,9 @@ __all__ = [
     "graph_to_wsfl",
     "graph_to_xml",
     "is_compatible",
+    "known_policy_names",
     "petri_structure",
+    "register_policy_name",
     "unit_names_in_xml",
     "register_unit",
     "run_graph",

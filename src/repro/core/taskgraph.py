@@ -25,12 +25,44 @@ from .registry import UnitRegistry, global_registry
 from .types import TrianaType, is_compatible
 from .units import Unit
 
-__all__ = ["Task", "GroupTask", "Connection", "TaskGraph", "GROUP_POLICIES"]
+__all__ = [
+    "Task",
+    "GroupTask",
+    "Connection",
+    "TaskGraph",
+    "GROUP_POLICIES",
+    "register_policy_name",
+    "known_policy_names",
+]
 
-#: Distribution policies a group may carry.  ``none`` = run in place;
-#: ``parallel`` = farm copies of the group across peers; ``p2p`` = place
-#: each inner task on its own peer and pipe data between them (§3.3).
-GROUP_POLICIES = ("none", "parallel", "p2p")
+#: Built-in distribution policies a group may carry.  ``none`` = run in
+#: place; ``parallel`` = farm copies of the group across peers; ``p2p`` =
+#: place each inner task on its own peer and pipe data between them
+#: (§3.3); ``chunked`` = farm variant batching k iterations per message.
+#: Third-party policies extend the valid set via
+#: :func:`register_policy_name` (done automatically by
+#: ``repro.service.policies.PolicyRegistry.register``).
+GROUP_POLICIES = ("none", "parallel", "p2p", "chunked")
+
+_known_policy_names: set[str] = set(GROUP_POLICIES)
+
+
+def register_policy_name(name: str) -> None:
+    """Declare ``name`` a valid :class:`GroupTask` distribution policy.
+
+    The core layer validates policy *names* only; the behaviour behind a
+    name lives in ``repro.service.policies`` (which calls this on
+    registration) so graphs can be built and serialized without the
+    service layer imported.
+    """
+    if not name or not isinstance(name, str):
+        raise GraphError(f"invalid policy name {name!r}")
+    _known_policy_names.add(name)
+
+
+def known_policy_names() -> tuple[str, ...]:
+    """Every currently-valid policy name, sorted."""
+    return tuple(sorted(_known_policy_names))
 
 
 def _clone_task(task: "Task", new_name: str) -> "Task":
@@ -117,7 +149,8 @@ class GroupTask(Task):
         One ``(inner_task_name, inner_node)`` pair per external node, in
         external-node order.
     policy:
-        Distribution policy, one of :data:`GROUP_POLICIES`.
+        Distribution policy name; built-ins are :data:`GROUP_POLICIES`,
+        and plugins extend the set via :func:`register_policy_name`.
     """
 
     def __init__(
@@ -130,8 +163,10 @@ class GroupTask(Task):
     ):
         if not name or "/" in name or ":" in name:
             raise GraphError(f"invalid group name {name!r}")
-        if policy not in GROUP_POLICIES:
-            raise GraphError(f"unknown policy {policy!r}; valid: {GROUP_POLICIES}")
+        if policy not in _known_policy_names:
+            raise GraphError(
+                f"unknown policy {policy!r}; valid: {known_policy_names()}"
+            )
         self.name = name
         self.graph = graph
         self.registry = graph.registry

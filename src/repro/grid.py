@@ -100,6 +100,7 @@ class ConsumerGrid:
         fault_plan=None,
         trace: bool = False,
         tracer: Optional[Tracer] = None,
+        policy_registry=None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -139,6 +140,7 @@ class ConsumerGrid:
             backoff_max=backoff_max,
             speculation_threshold=speculation_threshold,
             speculation_age=speculation_age,
+            policy_registry=policy_registry,
         )
 
         if isinstance(self.discovery, CentralIndexDiscovery):
@@ -242,7 +244,13 @@ class ConsumerGrid:
         """Deploy and execute a task graph; blocks until completion.
 
         ``workers`` defaults to every discovered worker; ``dispatch``
-        selects the farm policy (``round_robin`` | ``weighted``).
+        selects the farm dealing policy (any name from
+        :func:`~repro.service.placement.dispatch_policy_names`, e.g.
+        ``round_robin`` | ``weighted``).  Group *distribution* policies
+        come from the graph's ``<group policy="...">`` attributes and
+        resolve against the controller's
+        :class:`~repro.service.policies.PolicyRegistry` — pass
+        ``policy_registry`` at construction to inject custom ones.
         ``trace_out`` writes the run's trace to that path afterwards
         (``.json`` → Chrome/Perfetto, ``.jsonl`` → event log,
         ``.txt``/``.log`` → text timeline); ``metrics_out`` writes the

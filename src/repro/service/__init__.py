@@ -9,7 +9,10 @@ download.
   process components)
 * :class:`HeartbeatFailureDetector` — suspicion + worker-health scoring
   behind the controller's adaptive recovery (see docs/robustness.md)
-* :func:`partition_for_group` — splits a graph around its policy group
+* :func:`partition_stages` — splits a graph around its policy groups
+* :mod:`repro.service.policies` — pluggable distribution policies
+  (:class:`DistributionPolicy`, :class:`PolicyRegistry`,
+  :func:`register_policy`)
 """
 
 from .cluster import ClusterTrianaService
@@ -17,20 +20,45 @@ from .controller import RunReport, TrianaController
 from .detector import HeartbeatFailureDetector, WorkerHealth
 from .errors import DeploymentError, MigrationError, SchedulingError, ServiceError
 from .monitor import ProgressEvent, ProgressMonitor, TextProgressView, WapProgressView
-from .partition import GroupPartition, find_distributable_group, partition_for_group
+from .partition import (
+    GroupPartition,
+    StagedPartition,
+    find_distributable_group,
+    find_distributable_groups,
+    partition_for_group,
+    partition_stages,
+)
+from .placement import dispatch_policy_names, register_dispatch_policy
+from .policies import (
+    ChunkedFarmPolicy,
+    DispatchContext,
+    DistributionPolicy,
+    ParallelFarmPolicy,
+    PipelinePolicy,
+    PolicyRegistry,
+    global_policy_registry,
+    register_policy,
+)
 from .worker import WORKER_SERVICE_KIND, DeploymentSpec, TrianaService
 
 __all__ = [
+    "ChunkedFarmPolicy",
     "ClusterTrianaService",
     "DeploymentError",
     "DeploymentSpec",
+    "DispatchContext",
+    "DistributionPolicy",
     "GroupPartition",
     "HeartbeatFailureDetector",
     "MigrationError",
+    "ParallelFarmPolicy",
+    "PipelinePolicy",
+    "PolicyRegistry",
     "ProgressEvent",
     "ProgressMonitor",
     "RunReport",
     "SchedulingError",
+    "StagedPartition",
     "ServiceError",
     "TextProgressView",
     "TrianaController",
@@ -38,6 +66,12 @@ __all__ = [
     "WORKER_SERVICE_KIND",
     "WapProgressView",
     "WorkerHealth",
+    "dispatch_policy_names",
     "find_distributable_group",
+    "find_distributable_groups",
+    "global_policy_registry",
     "partition_for_group",
+    "partition_stages",
+    "register_dispatch_policy",
+    "register_policy",
 ]

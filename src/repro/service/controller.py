@@ -2,35 +2,22 @@
 application being run over a Triana network".
 
 The controller is itself just a peer (P2P, not client-server): it
-discovers worker services, extracts the policy-carrying group from the
-task graph, deploys sub-graphs as XML, streams per-iteration data to the
-placed replicas/stages, and feeds returning results into the locally-run
-downstream zone.
+discovers worker services, partitions the task graph around its
+policy-carrying groups (:func:`~repro.service.partition.partition_stages`)
+and orchestrates the run — local zones execute at the controller while
+each group is handed to its
+:class:`~repro.service.policies.DistributionPolicy`, resolved by name
+from the policy registry.
 
-Distribution policies (§3.3):
-
-* ``parallel`` — "a farming out mechanism and generally involves no
-  communication between hosts": the whole group is replicated on k peers
-  and iterations are dealt round-robin, results re-ordered by iteration.
-* ``p2p`` — "distributing the group vertically i.e. each unit in the
-  group is distributed onto a separate resource and data is passed
-  between them": a pipelined chain with stage-to-stage pipes.
-
-Churn recovery (parallel policy) is two-tier:
-
-* **heartbeat suspicion** — workers emit ``triana-heartbeat`` while a
-  run is in flight; a worker silent for ``suspect_after_missed``
-  intervals is suspected and its outstanding iterations are
-  re-dispatched immediately (see :mod:`repro.service.detector`);
-* **timeout fallback** — iterations older than ``retry_timeout`` are
-  re-dispatched regardless, the paper's "simply distributing the code to
-  as many computers that are available until the results are being
-  returned with the specified time interval".
-
-Repeated re-dispatches of one iteration back off exponentially (with
-deterministic jitter from the ``recovery-backoff`` stream), and once
-most of a batch is done the slowest stragglers are speculatively
-duplicated — first result wins; workers de-duplicate idempotently.
+The policies themselves (the paper's ``parallel`` farm and ``p2p``
+pipeline, the envelope-amortizing ``chunked`` farm, and anything third
+parties register) live in :mod:`repro.service.policies`; deployment
+retry machinery in :mod:`repro.service.deploy`; chain migration in
+:mod:`repro.service.migration`.  The controller owns orchestration only:
+message routing, result ordering, staged execution and progress
+reporting.  Graphs may carry several policy groups — they are scheduled
+in topological order, each group's results streaming into the next local
+zone as they arrive.
 """
 
 from __future__ import annotations
@@ -40,21 +27,26 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..core.engine import LocalEngine, Probe
-from ..core.taskgraph import GroupTask, TaskGraph
-from ..core.xml_io import graph_to_string
+from ..core.taskgraph import TaskGraph
 from ..p2p.advertisement import ADV_SERVICE
 from ..p2p.discovery import DiscoveryService
 from ..p2p.network import Message
 from ..p2p.peer import Peer
 from ..simkernel import Event, Simulator
+from . import migration
+from .deploy import DeploymentManager
 from .detector import HeartbeatFailureDetector
-from .errors import DeploymentError, MigrationError, SchedulingError
-from .partition import GroupPartition, find_distributable_group, partition_for_group
+from .errors import SchedulingError
+from .partition import StageRouter, partition_stages
+from .policies import (
+    DispatchContext,
+    PolicyRegistry,
+    RecoverySettings,
+    global_policy_registry,
+)
 from .worker import WORKER_SERVICE_KIND, DeploymentSpec
 
 __all__ = ["RunReport", "TrianaController"]
-
-_dep_ids = itertools.count(1)
 
 
 @dataclass
@@ -68,6 +60,7 @@ class RunReport:
     probe_values: dict[str, list[Any]] = field(default_factory=dict)
     placements: dict[str, str] = field(default_factory=dict)
     redispatches: int = 0
+    #: the distributed group's policy; ``+``-joined for multi-group runs
     policy: str = "none"
     #: network traffic attributable to this run (deltas over the run)
     messages_sent: int = 0
@@ -80,19 +73,6 @@ class RunReport:
     recovery: dict[str, Any] = field(default_factory=dict)
     #: tracer summary for the run (see docs/observability.md)
     tracing: dict[str, Any] = field(default_factory=dict)
-
-
-@dataclass
-class _Outstanding:
-    inputs: list[Any]
-    base_replica: int
-    dispatched_at: float
-    attempts: int = 0
-    #: replica index currently responsible for this iteration
-    replica: int = 0
-    #: earliest time another re-dispatch is allowed (exponential backoff)
-    retry_at: float = 0.0
-    speculated: bool = False
 
 
 class TrianaController:
@@ -111,53 +91,66 @@ class TrianaController:
         backoff_max: float = 120.0,
         speculation_threshold: float = 0.9,
         speculation_age: Optional[float] = None,
+        policy_registry: Optional[PolicyRegistry] = None,
     ):
         self.peer = peer
         self.sim: Simulator = peer.sim
         self.discovery = discovery
-        self.retry_timeout = retry_timeout
-        self.retry_interval = retry_interval
-        self.deploy_timeout = deploy_timeout
-        #: first-retry backoff; defaults to ``retry_interval`` when unset
-        self.backoff_base = retry_interval if backoff_base is None else backoff_base
-        self.backoff_max = backoff_max
-        #: speculate once this fraction of the batch is done (>=1 disables)
-        self.speculation_threshold = speculation_threshold
-        #: minimum age of an outstanding iteration before speculation
-        self.speculation_age = (
-            2.0 * heartbeat_interval if speculation_age is None else speculation_age
+        self.deployer = DeploymentManager(peer, deploy_timeout)
+        self.recovery_settings = RecoverySettings(
+            retry_timeout=retry_timeout,
+            retry_interval=retry_interval,
+            # first-retry backoff defaults to retry_interval when unset
+            backoff_base=retry_interval if backoff_base is None else backoff_base,
+            backoff_max=backoff_max,
+            # speculate once this fraction of the batch is done (>=1 disables)
+            speculation_threshold=speculation_threshold,
+            # minimum age of an outstanding iteration before speculation
+            speculation_age=(
+                2.0 * heartbeat_interval if speculation_age is None else speculation_age
+            ),
         )
         self.detector = HeartbeatFailureDetector(
             heartbeat_interval=heartbeat_interval,
             suspect_after_missed=suspect_after_missed,
         )
-        #: deployment ids of the run in flight (stale-result guard)
-        self._valid_deps: set[str] = set()
-        self._outstanding_ref: Optional[dict[int, "_Outstanding"]] = None
+        #: distribution-policy registry this controller schedules against
+        self.policies = (
+            policy_registry if policy_registry is not None else global_policy_registry()
+        )
+        #: per-controller deployment ids — two grids in one process must
+        #: produce identical reports, so no module-global counter here
+        self._dep_ids = itertools.count(1)
+        #: deployment id → owning context of the run in flight
+        self._ctx_of_dep: dict[str, DispatchContext] = {}
         self._duplicate_results = 0
         self._stale_results = 0
-        self._ack_events: dict[str, Event] = {}
-        self._result_events: dict[int, Event] = {}
         self._checkpoint_events: dict[str, Event] = {}
         self._drain_events: dict[str, Event] = {}
-        #: engines of the most recent run, for sink-unit inspection
+        #: first/last local-zone engines of the most recent run
         self.last_upstream: Optional[LocalEngine] = None
         self.last_downstream: Optional[LocalEngine] = None
         #: (worker, spec) per stage of the most recent p2p chain
         self._last_chain: list[tuple[str, DeploymentSpec]] = []
         #: subscribed progress views (§3.2 disconnected UI)
         self.monitors: list = []
-        #: open redispatch spans by iteration (closed on result/supersede)
-        self._redispatch_spans: dict[int, Any] = {}
-        #: (policy, iteration→replica) of the farm currently in flight
-        self._active_dispatch = None
         self._reparam_events: dict[tuple[str, str], Event] = {}
-        peer.on("deploy-ack", self._on_ack)
         peer.on("group-result", self._on_result)
         peer.on("triana-heartbeat", self._on_heartbeat)
         peer.on("checkpoint-reply", self._on_checkpoint_reply)
         peer.on("drain-reply", self._on_drain_reply)
         peer.on("reparam-ack", self._on_reparam_ack)
+
+    @property
+    def deploy_timeout(self) -> float:
+        return self.deployer.deploy_timeout
+
+    @deploy_timeout.setter
+    def deploy_timeout(self, value: float) -> None:
+        self.deployer.deploy_timeout = value
+
+    def _next_deployment_id(self) -> str:
+        return f"dep-{next(self._dep_ids)}"
 
     # -- progress views --------------------------------------------------------
     def attach_monitor(self, monitor) -> None:
@@ -196,42 +189,26 @@ class TrianaController:
         )
 
     # -- message handlers -----------------------------------------------------
-    def _on_ack(self, message: Message) -> None:
-        deployment_id, error = message.payload
-        ev = self._ack_events.get(deployment_id)
-        if ev is not None and not ev.triggered:
-            if error is None:
-                ev.succeed(deployment_id)
-            else:
-                ev.fail(DeploymentError(f"{deployment_id}: {error}"))
-
     def _on_heartbeat(self, message: Message) -> None:
         worker, _iterations_done = message.payload
         self.detector.observe_heartbeat(worker, self.sim.now)
 
     def _on_result(self, message: Message) -> None:
         dep_id, iteration, outputs = message.payload
-        if self._valid_deps and dep_id not in self._valid_deps:
+        ctx = self._ctx_of_dep.get(dep_id)
+        if self._ctx_of_dep and ctx is None:
             # A straggler from a *previous* run whose iteration number
             # happens to collide with this run's: must not be accepted.
             self._stale_results += 1
             return
         self.detector.observe_result(message.src, self.sim.now)
-        ev = self._result_events.get(iteration)
+        ev = ctx.result_events.get(iteration) if ctx is not None else None
         if ev is None or ev.triggered:
             # Redispatch/speculation race or network duplicate: first
             # result won already, later copies are dropped idempotently.
             self._duplicate_results += 1
             return
-        if self._active_dispatch is not None:
-            policy, replica_of = self._active_dispatch
-            if iteration in replica_of:
-                policy.completed(replica_of.pop(iteration))
-        if self._outstanding_ref is not None:
-            self._outstanding_ref.pop(iteration, None)
-        span = self._redispatch_spans.pop(iteration, None)
-        if span is not None:
-            span.end(outcome="completed", worker=message.src)
+        ctx.policy.on_result(ctx, iteration, worker=message.src)
         ev.succeed(outputs)
 
     def _on_checkpoint_reply(self, message: Message) -> None:
@@ -315,9 +292,11 @@ class TrianaController:
     ) -> Event:
         """Execute ``graph`` for ``iterations`` over ``workers``.
 
-        ``dispatch`` selects the farm policy: ``round_robin`` (default)
-        or ``weighted`` (capability-aware, for heterogeneous fleets).
-        Returns a process event yielding a :class:`RunReport`.
+        ``dispatch`` names the farm dealing policy (see
+        :func:`~repro.service.placement.dispatch_policy_names`); group
+        distribution policies come from the graph itself and are resolved
+        against :attr:`policies`.  Returns a process event yielding a
+        :class:`RunReport`.
         """
         if iterations < 1:
             raise SchedulingError("iterations must be >= 1")
@@ -346,6 +325,20 @@ class TrianaController:
         report.tracing = self.sim.tracer.summary()
         return report
 
+    def _make_context(self, group, dispatch: str, iterations: int) -> DispatchContext:
+        ctx = DispatchContext(
+            peer=self.peer,
+            detector=self.detector,
+            settings=self.recovery_settings,
+            dispatch_name=dispatch,
+            deploy=self.deployer.deploy_all,
+            next_deployment_id=self._next_deployment_id,
+            notify=self._notify,
+        )
+        ctx.policy = self.policies.create(group.policy)
+        ctx.iterations = iterations
+        return ctx
+
     def _run_proc_inner(self, graph, iterations, workers, probes, dispatch, run_span):
         start = self.sim.now
         net = self.peer.network.stats
@@ -359,8 +352,8 @@ class TrianaController:
         )
         dup_before = self._duplicate_results
         stale_before = self._stale_results
-        group = find_distributable_group(graph)
-        if group is None:
+        plan = partition_stages(graph)
+        if not plan.groups:
             report = self._run_local(graph, iterations, probes)
             report.makespan = self.sim.now - start
             return report
@@ -368,126 +361,105 @@ class TrianaController:
 
         if not workers:
             raise SchedulingError("no workers available for a distributed run")
-        part = partition_for_group(graph, group.name)
-        engine_a = LocalEngine(part.upstream)
-        engine_b = LocalEngine(
-            part.downstream, external_inputs=part.downstream_external_inputs()
-        )
-        # Exposed for post-run inspection (sink units live here).
-        self.last_upstream = engine_a
-        self.last_downstream = engine_b
-        attached = self._attach_probes(probes, engine_a, engine_b)
+        engines = [
+            LocalEngine(zone, external_inputs=plan.zone_external_inputs(k))
+            for k, zone in enumerate(plan.zones)
+        ]
+        # Exposed for post-run inspection (sink units live in the last zone).
+        self.last_upstream = engines[0]
+        self.last_downstream = engines[-1]
+        attached = self._attach_probes(probes, *engines)
+        policy_label = "+".join(g.policy for g in plan.groups)
 
-        # -- deploy phase ---------------------------------------------------
+        # -- deploy phase: every group, in topological order ------------------
         self._notify(
             "run-started",
             graph=graph.name,
             iterations=iterations,
-            policy=group.policy,
+            policy=policy_label,
         )
         deploy_start = self.sim.now
         tracer = self.sim.tracer
         deploy_span = (
             tracer.begin(
                 "controller.deploy", category="service", track=self.peer.peer_id,
-                policy=group.policy, workers=len(workers),
+                policy=policy_label, workers=len(workers),
             )
             if tracer.enabled
             else None
         )
-        if group.policy == "parallel":
-            placements = yield from self._deploy_parallel(group, workers)
-        else:
-            placements = yield from self._deploy_chain(group, workers)
+        contexts: list[DispatchContext] = []
+        for group in plan.groups:
+            ctx = self._make_context(group, dispatch, iterations)
+            yield from ctx.policy.deploy(ctx, group, workers)
+            contexts.append(ctx)
         deploy_time = self.sim.now - deploy_start
+        placements = {
+            dep: worker for c in contexts for dep, worker in c.placements.items()
+        }
         if deploy_span is not None:
             deploy_span.end(deployments=len(placements))
         for dep_id, worker in placements.items():
             self._notify("deployed", deployment=dep_id, worker=worker)
             self.detector.watch(worker, self.sim.now)
-        self._valid_deps = set(placements)
+        for ctx in contexts:
+            if ctx.chain:
+                self._last_chain = list(ctx.chain)
+            self._ctx_of_dep.update(dict.fromkeys(ctx.placements, ctx))
+            ctx.result_events = {it: self.sim.event() for it in range(iterations)}
+            ctx.policy.start(ctx, iterations)
 
-        # -- dispatch every iteration's inputs -------------------------------
-        self._result_events = {it: self.sim.event() for it in range(iterations)}
-        outstanding: dict[int, _Outstanding] = {}
-        cross_vals: dict[int, dict[tuple[str, int], Any]] = {}
-        dep_ids = list(placements)
-        replica_hosts = [placements[d] for d in dep_ids]
+        # -- staged dispatch & collection -------------------------------------
+        router = StageRouter(plan, iterations)
 
-        from .placement import make_dispatch_policy
+        def dispatch_stage_groups(stage: int, it: int) -> None:
+            for gi in plan.groups_at_stage(stage):
+                ctx = contexts[gi]
+                ctx.policy.dispatch(ctx, it, router.group_inputs(plan.groups[gi], it))
 
-        policy = make_dispatch_policy(dispatch)
-        policy.setup(
-            [self.peer.network.profile(h).cpu_flops for h in replica_hosts]
-        )
-        replica_of: dict[int, int] = {}
-        self._active_dispatch = (policy, replica_of)
+        def close_stage(stage: int) -> None:
+            for gi in plan.groups_at_stage(stage):
+                contexts[gi].policy.flush(contexts[gi])
+                contexts[gi].policy.begin_collect(contexts[gi])
 
         for it in range(iterations):
-            a_out = engine_a.step()
-            inputs = [a_out[c.src][c.src_node] for c in part.to_group]
-            cross_vals[it] = {
-                (c.dst, c.dst_node): a_out[c.src][c.src_node] for c in part.cross
-            }
-            if group.policy == "parallel":
-                replica = policy.choose(it)
-                replica_of[it] = replica
-                outstanding[it] = _Outstanding(
-                    inputs=inputs,
-                    base_replica=replica,
-                    dispatched_at=self.sim.now,
-                    replica=replica,
-                )
-                self._dispatch(replica_hosts[replica], dep_ids[replica], it, inputs)
-            else:
-                # Chain: everything enters at stage 0 and flows peer-to-peer.
-                self._dispatch(replica_hosts[0], dep_ids[0], it, inputs)
+            router.stash_zone(0, it, engines[0].step())
+            dispatch_stage_groups(0, it)
+        close_stage(0)
 
-        # -- churn recovery (parallel farms only) -----------------------------
-        stop_retry = {"done": False}
-        redispatch_count = {"n": 0, "suspicion": 0, "timeout": 0, "speculative": 0}
-        if group.policy == "parallel":
-            self._outstanding_ref = outstanding
-            self.sim.process(
-                self._recovery_loop(
-                    outstanding,
-                    dep_ids,
-                    replica_hosts,
-                    stop_retry,
-                    redispatch_count,
-                    iterations,
-                ),
-                name="recovery-monitor",
-            )
-
-        # -- collect results in iteration order and feed downstream ------------
         group_results: list[list[Any]] = []
-        for it in range(iterations):
-            outputs = yield self._result_events[it]
-            outstanding.pop(it, None)
-            external = dict(cross_vals[it])
-            for c in part.from_group:
-                external[(c.dst, c.dst_node)] = outputs[c.src_node]
-            engine_b.step(external)
-            group_results.append(outputs)
-            self._notify("iteration-complete", iteration=it)
-        stop_retry["done"] = True
-        self._result_events = {}
-        self._active_dispatch = None
-        self._outstanding_ref = None
-        self._valid_deps = set()
-        for _it, span in sorted(self._redispatch_spans.items()):
-            span.end(outcome="abandoned")
-        self._redispatch_spans.clear()
+        last_stage = len(plan.groups)
+        for s in range(1, last_stage + 1):
+            ctx = contexts[s - 1]
+            group_name = plan.groups[s - 1].name
+            results: list[list[Any]] = []
+            for it in range(iterations):
+                outputs = yield ctx.result_events[it]
+                router.stash_group(group_name, it, outputs)
+                router.stash_zone(s, it, engines[s].step(router.zone_externals(s, it)))
+                results.append(outputs)
+                dispatch_stage_groups(s, it)
+                if s == last_stage:
+                    self._notify("iteration-complete", iteration=it)
+            close_stage(s)
+            ctx.policy.finalize(ctx)
+            ctx.result_events = {}
+            group_results = results
+        self._ctx_of_dep = {}
+
+        redispatches = {
+            key: sum(c.counters[key] for c in contexts)
+            for key in ("n", "suspicion", "timeout", "speculative")
+        }
         if run_span is not None:
-            run_span.set(policy=group.policy, redispatches=redispatch_count["n"])
+            run_span.set(policy=policy_label, redispatches=redispatches["n"])
 
         recovery = dict(self.detector.snapshot(self.sim.now))
         recovery.update(
-            redispatches=redispatch_count["n"],
-            suspicion_redispatches=redispatch_count["suspicion"],
-            timeout_redispatches=redispatch_count["timeout"],
-            speculative=redispatch_count["speculative"],
+            redispatches=redispatches["n"],
+            suspicion_redispatches=redispatches["suspicion"],
+            timeout_redispatches=redispatches["timeout"],
+            speculative=redispatches["speculative"],
             duplicate_results=self._duplicate_results - dup_before,
             stale_results=self._stale_results - stale_before,
         )
@@ -498,9 +470,9 @@ class TrianaController:
             deploy_time=deploy_time,
             group_results=group_results,
             probe_values={p.task: list(p.values) for p in attached},
-            placements=dict(placements),
-            redispatches=redispatch_count["n"],
-            policy=group.policy,
+            placements=placements,
+            redispatches=redispatches["n"],
+            policy=policy_label,
             messages_sent=net.sent - net_before[0],
             bytes_sent=net.bytes_sent - net_before[1],
             messages_dropped=(net.dropped_offline + net.dropped_loss) - net_before[2],
@@ -538,351 +510,14 @@ class TrianaController:
                 raise SchedulingError(f"probe target {name!r} not found in any zone")
         return attached
 
-    # -- deployment ---------------------------------------------------------------------
-    def _deploy_parallel(self, group: GroupTask, workers: list[str]):
-        """Replicate the whole group on every worker."""
-        xml = graph_to_string(group.graph)
-        specs = []
-        for worker in workers:
-            dep_id = f"dep-{next(_dep_ids)}"
-            specs.append(
-                (
-                    worker,
-                    DeploymentSpec(
-                        deployment_id=dep_id,
-                        controller=self.peer.peer_id,
-                        xml=xml,
-                        external_inputs=tuple(group.input_map),
-                        output_spec=tuple(group.output_map),
-                        forward=None,
-                        heartbeat_interval=self.detector.heartbeat_interval,
-                    ),
-                )
-            )
-        yield from self._deploy_all(specs)
-        return {spec.deployment_id: worker for worker, spec in specs}
-
-    def _deploy_chain(self, group: GroupTask, workers: list[str]):
-        """Place each unit of the group on its own peer, piped in order."""
-        order = group.graph.topological_order()
-        self._check_linear_chain(group, order)
-        dep_ids = [f"dep-{next(_dep_ids)}" for _ in order]
-        specs = []
-        for i, task_name in enumerate(order):
-            task = group.graph.task(task_name)
-            stage = TaskGraph(name=f"{group.name}/{task_name}", registry=group.graph.registry)
-            stage.add_task(task_name, task.unit_name, **task.params)
-            external_inputs = tuple((task_name, n) for n in range(task.num_inputs))
-            if i + 1 < len(order):
-                nxt = group.graph.task(order[i + 1])
-                conn = [
-                    c
-                    for c in group.graph.connections
-                    if c.src == task_name and c.dst == order[i + 1]
-                ][0]
-                output_spec = ((task_name, conn.src_node),)
-                forward = (workers[(i + 1) % len(workers)], dep_ids[i + 1])
-                del nxt
-            else:
-                output_spec = tuple(group.output_map)
-                forward = None
-            specs.append(
-                (
-                    workers[i % len(workers)],
-                    DeploymentSpec(
-                        deployment_id=dep_ids[i],
-                        controller=self.peer.peer_id,
-                        xml=graph_to_string(stage),
-                        external_inputs=external_inputs,
-                        output_spec=output_spec,
-                        forward=forward,
-                        heartbeat_interval=self.detector.heartbeat_interval,
-                    ),
-                )
-            )
-        yield from self._deploy_all(specs)
-        # Remember the chain for later stage migration.
-        self._last_chain = [(worker, spec) for worker, spec in specs]
-        # Placements keyed in stage order; stage 0 receives the data.
-        return {spec.deployment_id: worker for worker, spec in specs}
-
-    def _check_linear_chain(self, group: GroupTask, order: list[str]) -> None:
-        for name in order:
-            if len(group.graph.out_connections(name)) > 1 or len(
-                group.graph.in_connections(name)
-            ) > 1:
-                raise SchedulingError(
-                    f"p2p policy requires a linear chain; task {name!r} in group "
-                    f"{group.name!r} has fan-in/fan-out"
-                )
-        for a, b in zip(order, order[1:]):
-            if not any(c.src == a and c.dst == b for c in group.graph.connections):
-                raise SchedulingError(
-                    f"p2p policy requires a connected chain; {a!r} and {b!r} "
-                    "are not linked"
-                )
-
-    def _deploy_all(self, specs, max_attempts: int = 3):
-        """Deploy with retries: lost deploys/acks are re-sent, not fatal.
-
-        Workers treat duplicate deploys idempotently (re-ack), so a retry
-        after a lost ack is safe.
-        """
-        acks = {}
-        for worker, spec in specs:
-            ack = self.sim.event()
-            self._ack_events[spec.deployment_id] = ack
-            acks[spec.deployment_id] = ack
-        pending = list(specs)
-        per_attempt = self.deploy_timeout / max_attempts
-        for _attempt in range(max_attempts):
-            for worker, spec in pending:
-                self.peer.send(
-                    worker, "triana-deploy", payload=spec, size_bytes=len(spec.xml)
-                )
-            deadline = self.sim.timeout(per_attempt)
-            waiting = self.sim.all_of([acks[s.deployment_id] for _w, s in pending])
-            yield self.sim.any_of([waiting, deadline])
-            pending = [
-                (w, s) for w, s in pending
-                if not acks[s.deployment_id].triggered
-            ]
-            if not pending:
-                break
-        if pending:
-            missing = [s.deployment_id for _w, s in pending]
-            raise DeploymentError(
-                f"deployment timed out after {self.deploy_timeout}s "
-                f"({max_attempts} attempts); unacked: {missing}"
-            )
-        # Surface failure acks (sandbox denial etc.) by touching .value.
-        for _w, spec in specs:
-            ack = self._ack_events.pop(spec.deployment_id, None)
-            if ack is not None and ack.triggered:
-                _ = ack.value  # raises DeploymentError on failure acks
-
     # -- chain migration -----------------------------------------------------------------
     def migrate_stage(
         self, stage_index: int, new_worker: str, settle: float = 2.0
     ) -> Event:
         """Move one stage of the last-deployed p2p chain to another peer.
 
-        The paper (Case 2): "A check-pointing mechanism may also be
-        employed to migrate computation if necessary."  Protocol:
-
-        1. deploy a *paused* copy of the stage on the new peer;
-        2. rewire the predecessor stage to the new home (fresh data now
-           buffers there);
-        3. wait ``settle`` for in-flight messages to land;
-        4. drain the old deployment (unit checkpoints + queued work; the
-           old peer leaves a tombstone that forwards stragglers);
-        5. resume the new deployment with the migrated state, leftovers
-           merged in iteration order.
-
-        Returns a process event yielding the new deployment id.
+        See :mod:`repro.service.migration` for the checkpoint/rewire/
+        drain/resume protocol.  Returns a process event yielding the new
+        deployment id.
         """
-        if not self._last_chain:
-            raise MigrationError("no p2p chain has been deployed")
-        if not 0 <= stage_index < len(self._last_chain):
-            raise MigrationError(
-                f"stage {stage_index} out of range 0..{len(self._last_chain) - 1}"
-            )
-        return self.sim.process(
-            self._migrate_proc(stage_index, new_worker, settle),
-            name=f"migrate-stage-{stage_index}",
-        )
-
-    def _migrate_proc(self, stage_index: int, new_worker: str, settle: float):
-        old_worker, old_spec = self._last_chain[stage_index]
-        new_dep_id = f"dep-{next(_dep_ids)}"
-        new_spec = DeploymentSpec(
-            deployment_id=new_dep_id,
-            controller=self.peer.peer_id,
-            xml=old_spec.xml,
-            external_inputs=old_spec.external_inputs,
-            output_spec=old_spec.output_spec,
-            forward=old_spec.forward,
-            paused=True,
-        )
-        yield from self._deploy_all([(new_worker, new_spec)])
-        if self._valid_deps:
-            # Results from the new home belong to the run in flight.
-            self._valid_deps.add(new_dep_id)
-
-        if stage_index > 0:
-            pred_worker, pred_spec = self._last_chain[stage_index - 1]
-            self.peer.send(
-                pred_worker,
-                "triana-rewire",
-                payload=(pred_spec.deployment_id, (new_worker, new_dep_id)),
-                size_bytes=96,
-            )
-        yield self.sim.timeout(settle)
-
-        drained = self.sim.event()
-        self._drain_events[old_spec.deployment_id] = drained
-        self.peer.send(
-            old_worker,
-            "triana-drain",
-            payload=(self.peer.peer_id, old_spec.deployment_id, (new_worker, new_dep_id)),
-            size_bytes=96,
-        )
-        state, leftovers = yield drained
-        self._drain_events.pop(old_spec.deployment_id, None)
-
-        self.peer.send(
-            new_worker,
-            "triana-resume",
-            payload=(new_dep_id, state, leftovers),
-            size_bytes=1024,
-        )
-        self._last_chain[stage_index] = (new_worker, new_spec)
-        return new_dep_id
-
-    # -- dispatch & retry --------------------------------------------------------------
-    def _dispatch(self, worker: str, deployment_id: str, iteration: int, inputs) -> None:
-        size = sum(
-            v.payload_nbytes() if hasattr(v, "payload_nbytes") else 64 for v in inputs
-        ) + 64
-        tracer = self.sim.tracer
-        if tracer.enabled:
-            tracer.metrics.counter("service.dispatches").inc()
-            tracer.instant(
-                "controller.dispatch", category="service", track=self.peer.peer_id,
-                worker=worker, deployment=deployment_id, iteration=iteration,
-            )
-        self.peer.send(
-            worker, "group-exec", payload=(deployment_id, iteration, inputs), size_bytes=size
-        )
-
-    def _recovery_loop(
-        self, outstanding, dep_ids, replica_hosts, stop, counter, iterations
-    ):
-        """Suspicion-driven + timeout-fallback redispatch, plus speculation.
-
-        Ticks at ``min(retry_interval, heartbeat_interval)`` so a heartbeat
-        suspicion is acted on within one beat of the detector deadline —
-        the seed's retry loop could leave a dead iteration waiting up to
-        ``retry_timeout + retry_interval``.
-        """
-        tick = min(self.retry_interval, self.detector.heartbeat_interval)
-        hb = self.detector.heartbeat_interval
-        # Renew worker heartbeat leases well inside their 10-beat window.
-        renew_every = max(1, int(4 * hb / tick))
-        rng = self.sim.rng("recovery-backoff")
-        ticks = 0
-        while not stop["done"]:
-            yield self.sim.timeout(tick)
-            if stop["done"]:
-                return
-            now = self.sim.now
-            ticks += 1
-            if ticks % renew_every == 0:
-                for host in sorted(set(replica_hosts)):
-                    self.peer.send(
-                        host,
-                        "triana-hb-renew",
-                        payload=(self.peer.peer_id, hb),
-                        size_bytes=48,
-                    )
-            fresh_suspects = self.detector.check(now)
-            if fresh_suspects:
-                tracer = self.sim.tracer
-                if tracer.enabled:
-                    for worker in fresh_suspects:
-                        tracer.metrics.counter("service.suspicions").inc()
-                        tracer.instant(
-                            "detector.suspect", category="service",
-                            track=self.peer.peer_id, worker=worker,
-                        )
-            done = iterations - len(outstanding)
-            for it, rec in sorted(outstanding.items()):
-                ev = self._result_events.get(it)
-                if ev is None or ev.triggered:
-                    outstanding.pop(it, None)
-                    continue
-                host = replica_hosts[rec.replica]
-                aged = now - rec.dispatched_at >= self.retry_timeout
-                suspected = not self.detector.is_alive(host, now)
-                if suspected or aged:
-                    if now < rec.retry_at:
-                        continue  # backing off after a recent redispatch
-                    reason = "suspicion" if suspected else "timeout"
-                    self._redispatch(
-                        rec, it, dep_ids, replica_hosts, now, rng, counter, reason
-                    )
-                elif (
-                    self.speculation_threshold < 1.0
-                    and done >= self.speculation_threshold * iterations
-                    and not rec.speculated
-                    and now - rec.dispatched_at >= self.speculation_age
-                ):
-                    self._speculate(rec, it, dep_ids, replica_hosts, now, counter)
-
-    def _redispatch(
-        self, rec, it, dep_ids, replica_hosts, now, rng, counter, reason
-    ):
-        rec.attempts += 1
-        idx = self._pick_replica(rec, replica_hosts, now)
-        rec.replica = idx
-        rec.dispatched_at = now
-        backoff = min(self.backoff_base * 2 ** (rec.attempts - 1), self.backoff_max)
-        rec.retry_at = now + backoff * (1.0 + 0.25 * float(rng.random()))
-        counter["n"] += 1
-        counter[reason] += 1
-        tracer = self.sim.tracer
-        if tracer.enabled:
-            previous = self._redispatch_spans.pop(it, None)
-            if previous is not None:
-                previous.end(outcome="superseded")
-            self._redispatch_spans[it] = tracer.begin(
-                "controller.redispatch", category="service",
-                track=self.peer.peer_id, iteration=it,
-                worker=replica_hosts[idx], reason=reason, attempt=rec.attempts,
-            )
-            tracer.metrics.counter(f"service.redispatch_{reason}").inc()
-        self._notify(
-            "redispatch", iteration=it, worker=replica_hosts[idx], reason=reason
-        )
-        self._dispatch(replica_hosts[idx], dep_ids[idx], it, rec.inputs)
-
-    def _pick_replica(self, rec, replica_hosts, now) -> int:
-        """Next target: prefer online + healthy, then merely online."""
-        k = len(replica_hosts)
-        online_idx = None
-        for offset in range(k):
-            idx = (rec.base_replica + rec.attempts + offset) % k
-            host = replica_hosts[idx]
-            if not self.peer.network.is_online(host):
-                continue
-            if online_idx is None:
-                online_idx = idx
-            if self.detector.is_dispatchable(host, now):
-                return idx
-        if online_idx is not None:
-            return online_idx
-        return (rec.base_replica + rec.attempts) % k
-
-    def _speculate(self, rec, it, dep_ids, replica_hosts, now, counter) -> None:
-        """Duplicate a straggling iteration on a second healthy replica.
-
-        First result wins (``_on_result`` drops the loser); the worker
-        side de-duplicates, so this is safe even if the original is alive.
-        """
-        k = len(replica_hosts)
-        for offset in range(1, k):
-            idx = (rec.replica + offset) % k
-            host = replica_hosts[idx]
-            if self.peer.network.is_online(host) and self.detector.is_dispatchable(
-                host, now
-            ):
-                break
-        else:
-            return  # no second replica worth speculating on
-        rec.speculated = True
-        counter["speculative"] += 1
-        tracer = self.sim.tracer
-        if tracer.enabled:
-            tracer.metrics.counter("service.speculations").inc()
-        self._notify("speculate", iteration=it, worker=replica_hosts[idx])
-        self._dispatch(replica_hosts[idx], dep_ids[idx], it, rec.inputs)
+        return migration.migrate_stage(self, stage_index, new_worker, settle)

@@ -1,0 +1,73 @@
+"""Deploy-with-retry: shipping sub-graph XML to worker peers.
+
+Owns the ``triana-deploy`` / ``deploy-ack`` exchange so neither the
+controller nor the policies re-implement ack bookkeeping.  Policies reach
+it through :meth:`~repro.service.policies.DispatchContext.deploy`.
+"""
+
+from __future__ import annotations
+
+from ..p2p.network import Message
+from ..p2p.peer import Peer
+from .errors import DeploymentError
+
+__all__ = ["DeploymentManager"]
+
+
+class DeploymentManager:
+    """Sends deployment specs and waits for acks, retrying lost ones."""
+
+    def __init__(self, peer: Peer, deploy_timeout: float):
+        self.peer = peer
+        self.sim = peer.sim
+        self.deploy_timeout = deploy_timeout
+        self._ack_events: dict = {}
+        peer.on("deploy-ack", self._on_ack)
+
+    def _on_ack(self, message: Message) -> None:
+        deployment_id, error = message.payload
+        ev = self._ack_events.get(deployment_id)
+        if ev is not None and not ev.triggered:
+            if error is None:
+                ev.succeed(deployment_id)
+            else:
+                ev.fail(DeploymentError(f"{deployment_id}: {error}"))
+
+    def deploy_all(self, specs, max_attempts: int = 3):
+        """Deploy with retries: lost deploys/acks are re-sent, not fatal.
+
+        Workers treat duplicate deploys idempotently (re-ack), so a retry
+        after a lost ack is safe.
+        """
+        acks = {}
+        for worker, spec in specs:
+            ack = self.sim.event()
+            self._ack_events[spec.deployment_id] = ack
+            acks[spec.deployment_id] = ack
+        pending = list(specs)
+        per_attempt = self.deploy_timeout / max_attempts
+        for _attempt in range(max_attempts):
+            for worker, spec in pending:
+                self.peer.send(
+                    worker, "triana-deploy", payload=spec, size_bytes=len(spec.xml)
+                )
+            deadline = self.sim.timeout(per_attempt)
+            waiting = self.sim.all_of([acks[s.deployment_id] for _w, s in pending])
+            yield self.sim.any_of([waiting, deadline])
+            pending = [
+                (w, s) for w, s in pending
+                if not acks[s.deployment_id].triggered
+            ]
+            if not pending:
+                break
+        if pending:
+            missing = [s.deployment_id for _w, s in pending]
+            raise DeploymentError(
+                f"deployment timed out after {self.deploy_timeout}s "
+                f"({max_attempts} attempts); unacked: {missing}"
+            )
+        # Surface failure acks (sandbox denial etc.) by touching .value.
+        for _w, spec in specs:
+            ack = self._ack_events.pop(spec.deployment_id, None)
+            if ack is not None and ack.triggered:
+                _ = ack.value  # raises DeploymentError on failure acks

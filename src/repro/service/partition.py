@@ -1,18 +1,24 @@
-"""Partitioning a task graph around its distributed group.
+"""Partitioning a task graph around its distributed group(s).
 
 "In terms of our workflow example we could execute the GroupTask on a
 remote Triana service, with the data being automatically sent from the
 Wave to the Gaussian and returned from the FFT to the Grapher."
 
-Given a graph with one policy-carrying group, this module splits it into
+Two partitioners live here:
 
-* the **upstream** zone — every task the group does not depend on being
-  finished first runs locally at the controller (the Wave in Fig. 1);
-* the **group** — shipped to remote peers per its distribution policy;
-* the **downstream** zone — strict descendants of the group, run locally
-  once results return (the Grapher).
+* :func:`partition_for_group` — the original three-zone split (upstream /
+  one group / downstream) retained for the single-group case and its
+  callers;
+* :func:`partition_stages` — the general form: N policy-carrying groups
+  in topological order interleaved with N+1 local zones, so a graph may
+  distribute several groups in one run.  Zone ``k`` holds every local
+  task whose deepest group dependency is group ``k-1`` (zone 0 depends on
+  no group); connections are classified so the controller can route
+  payloads between zones and groups.
 
-Connections are classified so the controller can route payloads.
+For a single-group graph, :func:`partition_stages` reduces exactly to the
+three-zone split — same zones, same boundary-connection ordering — which
+is what keeps refactored runs bit-identical to the seed.
 """
 
 from __future__ import annotations
@@ -24,7 +30,15 @@ import networkx as nx
 from ..core.taskgraph import Connection, GroupTask, TaskGraph
 from .errors import SchedulingError
 
-__all__ = ["GroupPartition", "partition_for_group", "find_distributable_group"]
+__all__ = [
+    "GroupPartition",
+    "StagedPartition",
+    "StageRouter",
+    "partition_for_group",
+    "partition_stages",
+    "find_distributable_group",
+    "find_distributable_groups",
+]
 
 
 @dataclass
@@ -52,19 +66,76 @@ class GroupPartition:
 def find_distributable_group(graph: TaskGraph) -> GroupTask | None:
     """The (single) group carrying a distribution policy, or None.
 
-    The reference controller distributes one group per application run —
-    the paper's examples all have this shape.  Multiple policy groups are
-    rejected rather than silently half-distributed.
+    Legacy accessor for callers built around the paper's one-group
+    examples; multi-group graphs raise here.  The controller itself uses
+    :func:`find_distributable_groups` / :func:`partition_stages` and
+    handles any number of groups.
     """
-    policy_groups = [g for g in graph.groups() if g.policy != "none"]
+    policy_groups = find_distributable_groups(graph)
     if not policy_groups:
         return None
     if len(policy_groups) > 1:
         raise SchedulingError(
             f"graph has {len(policy_groups)} distributable groups "
-            f"({[g.name for g in policy_groups]}); the controller handles one"
+            f"({[g.name for g in policy_groups]}); this accessor handles one "
+            "(use partition_stages for multi-group scheduling)"
         )
     return policy_groups[0]
+
+
+def find_distributable_groups(graph: TaskGraph) -> list[GroupTask]:
+    """Every policy-carrying group, in deterministic topological order."""
+    order = {name: i for i, name in enumerate(graph.topological_order())}
+    groups = [g for g in graph.groups() if g.policy != "none"]
+    return sorted(groups, key=lambda g: order[g.name])
+
+
+@dataclass
+class StagedPartition:
+    """N groups in topological order, interleaved with N+1 local zones.
+
+    ``zones[0]`` depends on no group and is stepped up-front for every
+    iteration; ``zones[k]`` (k >= 1) consumes group ``k-1``'s results and
+    is stepped as they arrive.  ``dispatch_stage[name]`` says during which
+    zone's stage a group's inputs become complete (always <= its own
+    index, so every group is in flight before its collection stage).
+    """
+
+    groups: list[GroupTask]
+    zones: list[TaskGraph]
+    #: local (non-policy) task name → zone index
+    zone_of: dict[str, int] = field(default_factory=dict)
+    #: group name → inbound connections, ordered by group input node
+    to_group: dict[str, list[Connection]] = field(default_factory=dict)
+    #: group name → connections feeding local tasks
+    from_group: dict[str, list[Connection]] = field(default_factory=dict)
+    #: local → local connections that cross zone boundaries
+    cross: list[Connection] = field(default_factory=list)
+    #: group name → stage index at which it is dispatched
+    dispatch_stage: dict[str, int] = field(default_factory=dict)
+
+    def zone_external_inputs(self, zone: int) -> list[tuple[str, int]]:
+        """Externally-fed ``(task, node)`` inputs of one zone's engine."""
+        external = {
+            (c.dst, c.dst_node)
+            for c in self.cross
+            if self.zone_of[c.dst] == zone
+        }
+        for conns in self.from_group.values():
+            external |= {
+                (c.dst, c.dst_node)
+                for c in conns
+                if self.zone_of[c.dst] == zone
+            }
+        return sorted(external)
+
+    def groups_at_stage(self, stage: int) -> list[int]:
+        """Indices of groups whose inputs complete at ``stage``."""
+        return [
+            i
+            for i, g in enumerate(self.groups)
+            if self.dispatch_stage[g.name] == stage
+        ]
 
 
 def partition_for_group(graph: TaskGraph, group_name: str) -> GroupPartition:
@@ -124,3 +195,135 @@ def partition_for_group(graph: TaskGraph, group_name: str) -> GroupPartition:
             f"{len(part.to_group)} are fed"
         )
     return part
+
+
+def _copy_into(zone: TaskGraph, graph: TaskGraph, names: list[str]) -> None:
+    for name in names:
+        t = graph.task(name)
+        if isinstance(t, GroupTask):
+            zone.add_group(name, t.graph.copy(), t.input_map, t.output_map, "none")
+        else:
+            zone.add_task(name, t.unit_name, **t.params)
+
+
+def partition_stages(graph: TaskGraph) -> StagedPartition:
+    """Split ``graph`` into topologically-ordered groups and local zones.
+
+    Every policy-carrying group becomes a distribution stage; every local
+    task lands in the zone just after the deepest group it (transitively)
+    depends on.  A graph without policy groups yields one zone and no
+    groups (the caller runs it locally).
+    """
+    groups = find_distributable_groups(graph)
+    index = {g.name: i for i, g in enumerate(groups)}
+
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(graph.tasks)
+    for c in graph.connections:
+        digraph.add_edge(c.src, c.dst)
+    descendants = {g.name: nx.descendants(digraph, g.name) for g in groups}
+
+    zone_of: dict[str, int] = {}
+    for name in graph.tasks:
+        if name in index:
+            continue
+        depths = [i for g, i in index.items() if name in descendants[g]]
+        zone_of[name] = 1 + max(depths) if depths else 0
+
+    zones = [
+        TaskGraph(name=f"{graph.name}/zone{k}", registry=graph.registry)
+        for k in range(len(groups) + 1)
+    ]
+    for k, zone in enumerate(zones):
+        _copy_into(zone, graph, sorted(n for n, z in zone_of.items() if z == k))
+
+    part = StagedPartition(groups=groups, zones=zones, zone_of=zone_of)
+    part.to_group = {g.name: [] for g in groups}
+    part.from_group = {g.name: [] for g in groups}
+    for c in graph.connections:
+        if c.dst in index:
+            part.to_group[c.dst].append(c)
+        elif c.src in index:
+            part.from_group[c.src].append(c)
+        elif zone_of[c.src] == zone_of[c.dst]:
+            zones[zone_of[c.src]].connect(c.src, c.src_node, c.dst, c.dst_node)
+        else:  # a DAG can only cross forward, zone_of[src] < zone_of[dst]
+            part.cross.append(c)
+
+    for g in groups:
+        conns = part.to_group[g.name]
+        conns.sort(key=lambda c: c.dst_node)
+        if len(conns) != g.num_inputs:
+            raise SchedulingError(
+                f"group {g.name!r} has {g.num_inputs} inputs but "
+                f"{len(conns)} are fed"
+            )
+        # The stage at which all of this group's inputs are available:
+        # zone k's outputs appear during stage k, group j's during j+1.
+        part.dispatch_stage[g.name] = max(
+            (
+                index[c.src] + 1 if c.src in index else zone_of[c.src]
+                for c in conns
+            ),
+            default=0,
+        )
+    return part
+
+class StageRouter:
+    """Routes boundary values between local zones and groups during a run.
+
+    Every boundary value an iteration produces — a local output feeding a
+    group or a later zone, or a group's output node — is stashed keyed by
+    its *source* endpoint, then read back when the consuming group is
+    dispatched or the consuming zone is stepped.
+    """
+
+    def __init__(self, plan: StagedPartition, iterations: int):
+        self.plan = plan
+        self._vals: dict[int, dict[tuple[str, int], object]] = {
+            it: {} for it in range(iterations)
+        }
+        #: local source endpoints whose values anyone downstream consumes
+        self._boundary = {
+            (c.src, c.src_node)
+            for conns in plan.to_group.values()
+            for c in conns
+            if c.src in plan.zone_of
+        } | {(c.src, c.src_node) for c in plan.cross}
+        #: per zone: externally-fed (dst, dst_node) → producing endpoint
+        self._feeds: list[dict[tuple[str, int], tuple[str, int]]] = [
+            {} for _ in plan.zones
+        ]
+        for c in plan.cross:
+            self._feeds[plan.zone_of[c.dst]][(c.dst, c.dst_node)] = (c.src, c.src_node)
+        for conns in plan.from_group.values():
+            for c in conns:
+                self._feeds[plan.zone_of[c.dst]][(c.dst, c.dst_node)] = (
+                    c.src,
+                    c.src_node,
+                )
+
+    def stash_zone(self, zone: int, iteration: int, outputs) -> None:
+        """Record one zone step's boundary outputs for ``iteration``."""
+        for t, n in self._boundary:
+            if self.plan.zone_of[t] == zone:
+                self._vals[iteration][(t, n)] = outputs[t][n]
+
+    def stash_group(self, group_name: str, iteration: int, outputs) -> None:
+        """Record a collected group result's output nodes."""
+        for n, value in enumerate(outputs):
+            self._vals[iteration][(group_name, n)] = value
+
+    def group_inputs(self, group: GroupTask, iteration: int) -> list:
+        """The ordered input payloads to dispatch into ``group``."""
+        return [
+            self._vals[iteration][(c.src, c.src_node)]
+            for c in self.plan.to_group[group.name]
+        ]
+
+    def zone_externals(self, zone: int, iteration: int) -> dict:
+        """The external-input dict for stepping one zone's engine."""
+        return {
+            dst: self._vals[iteration][src]
+            for dst, src in self._feeds[zone].items()
+        }

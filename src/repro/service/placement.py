@@ -22,7 +22,15 @@ from typing import Any, Sequence
 from ..p2p.advertisement import Advertisement
 from .errors import SchedulingError
 
-__all__ = ["rank_workers", "DispatchPolicy", "RoundRobin", "WeightedBySpeed"]
+__all__ = [
+    "rank_workers",
+    "DispatchPolicy",
+    "RoundRobin",
+    "WeightedBySpeed",
+    "make_dispatch_policy",
+    "register_dispatch_policy",
+    "dispatch_policy_names",
+]
 
 
 _RANK_KEYS = {
@@ -66,6 +74,12 @@ class DispatchPolicy:
     def completed(self, replica: int) -> None:
         """Notify that a result returned from ``replica``."""
 
+    def mark_offline(self, replica: int) -> None:
+        """Notify that ``replica`` is suspected dead (churn signal)."""
+
+    def mark_online(self, replica: int) -> None:
+        """Notify that a suspected ``replica`` proved alive again."""
+
 
 class RoundRobin(DispatchPolicy):
     """The reference policy: iteration i → replica i mod k."""
@@ -80,21 +94,29 @@ class WeightedBySpeed(DispatchPolicy):
 
     Each replica tracks its outstanding work; the next iteration goes to
     the replica whose queue will drain soonest at its CPU speed.  With
-    equal speeds this degenerates to round-robin-ish fairness.
+    equal speeds this degenerates to round-robin-ish fairness.  Suspected
+    replicas are excluded from ``choose`` until marked back online, so
+    weights effectively re-normalise over the surviving fleet under
+    churn; if the whole fleet is suspected, everyone is eligible again.
     """
 
     outstanding: list[int] = field(default_factory=list)
+    offline: set[int] = field(default_factory=set)
 
     def setup(self, replica_speeds: list[float]) -> None:
         super().setup(replica_speeds)
         if any(s <= 0 for s in self.speeds):
             raise SchedulingError("replica speeds must be positive")
         self.outstanding = [0] * len(self.speeds)
+        self.offline = set()
 
     def choose(self, iteration: int) -> int:
+        eligible = [r for r in range(len(self.speeds)) if r not in self.offline]
+        if not eligible:
+            eligible = list(range(len(self.speeds)))
         # Estimated finish time of one more unit of work per replica.
         best = min(
-            range(len(self.speeds)),
+            eligible,
             key=lambda r: ((self.outstanding[r] + 1) / self.speeds[r], r),
         )
         self.outstanding[best] += 1
@@ -104,11 +126,47 @@ class WeightedBySpeed(DispatchPolicy):
         if self.outstanding[replica] > 0:
             self.outstanding[replica] -= 1
 
+    def mark_offline(self, replica: int) -> None:
+        if 0 <= replica < len(self.speeds):
+            self.offline.add(replica)
+
+    def mark_online(self, replica: int) -> None:
+        self.offline.discard(replica)
+
+
+#: name → zero-arg DispatchPolicy factory (see register_dispatch_policy)
+_DISPATCH_POLICIES: dict[str, Any] = {}
+
+
+def register_dispatch_policy(name: str, factory) -> None:
+    """Register a farm dealing policy under ``name``.
+
+    ``factory`` is a zero-argument callable returning a fresh
+    :class:`DispatchPolicy`.  Registered names show up in the CLI's
+    ``--dispatch`` choices.
+    """
+    if not name or not isinstance(name, str):
+        raise SchedulingError("dispatch policy name must be a non-empty string")
+    if name in _DISPATCH_POLICIES:
+        raise SchedulingError(f"dispatch policy {name!r} already registered")
+    _DISPATCH_POLICIES[name] = factory
+
+
+def dispatch_policy_names() -> tuple[str, ...]:
+    """Every registered dealing-policy name, sorted."""
+    return tuple(sorted(_DISPATCH_POLICIES))
+
 
 def make_dispatch_policy(name: str) -> DispatchPolicy:
-    """Factory: ``round_robin`` | ``weighted``."""
-    if name == "round_robin":
-        return RoundRobin()
-    if name == "weighted":
-        return WeightedBySpeed()
-    raise SchedulingError(f"unknown dispatch policy {name!r}")
+    """Instantiate a registered dealing policy (``round_robin`` | ...)."""
+    try:
+        factory = _DISPATCH_POLICIES[name]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown dispatch policy {name!r}; valid: {sorted(_DISPATCH_POLICIES)}"
+        ) from None
+    return factory()
+
+
+register_dispatch_policy("round_robin", RoundRobin)
+register_dispatch_policy("weighted", WeightedBySpeed)

@@ -1,0 +1,117 @@
+"""The distribution-policy registry — the units registry's twin.
+
+Task graphs reference policies by name exactly as they reference units:
+``<group policy="chunked">`` in XML resolves here at run time.  Registering
+a policy also declares its name to the core layer
+(:func:`repro.core.taskgraph.register_policy_name`), so graphs carrying the
+name can be built, validated and serialized without the service layer in
+the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Type
+
+from ...core.taskgraph import register_policy_name
+from ..errors import SchedulingError
+from .base import DistributionPolicy
+
+__all__ = [
+    "PolicyDescriptor",
+    "PolicyRegistry",
+    "global_policy_registry",
+    "register_policy",
+]
+
+
+@dataclass(frozen=True)
+class PolicyDescriptor:
+    """Metadata describing one registered distribution policy."""
+
+    name: str
+    cls: Type[DistributionPolicy]
+    summary: str
+
+
+class PolicyRegistry:
+    """Name → distribution-policy-class mapping.
+
+    The controller resolves a group's policy name against its registry
+    (the global one unless injected); third-party policies become usable
+    end-to-end — XML through ``repro run`` — by registering alone.
+    """
+
+    def __init__(self):
+        self._policies: dict[str, PolicyDescriptor] = {}
+
+    def register(self, cls: Type[DistributionPolicy]) -> PolicyDescriptor:
+        """Register a policy class; duplicate names are an error."""
+        if not (isinstance(cls, type) and issubclass(cls, DistributionPolicy)):
+            raise SchedulingError(f"{cls!r} is not a DistributionPolicy subclass")
+        name = cls.name
+        if not name:
+            raise SchedulingError(f"{cls.__name__} must set a policy name")
+        if name in self._policies:
+            raise SchedulingError(f"policy {name!r} already registered")
+        desc = PolicyDescriptor(name=name, cls=cls, summary=cls.summary())
+        self._policies[name] = desc
+        register_policy_name(name)
+        return desc
+
+    def unregister(self, name: str) -> None:
+        if name not in self._policies:
+            raise SchedulingError(f"policy {name!r} not registered")
+        del self._policies[name]
+
+    def lookup(self, name: str) -> PolicyDescriptor:
+        if name not in self._policies:
+            raise SchedulingError(
+                f"unknown distribution policy {name!r}; registered: {self.names()}"
+            )
+        return self._policies[name]
+
+    def create(self, name: str, **params) -> DistributionPolicy:
+        """Instantiate a registered policy (one instance per group run)."""
+        return self.lookup(name).cls(**params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._policies
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    def __iter__(self) -> Iterator[PolicyDescriptor]:
+        return iter(self._policies.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._policies)
+
+
+_GLOBAL = PolicyRegistry()
+
+
+def global_policy_registry() -> PolicyRegistry:
+    """The process-wide registry the built-in policies populate."""
+    return _GLOBAL
+
+
+def register_policy(
+    cls: Optional[Type[DistributionPolicy]] = None,
+    *,
+    registry: Optional[PolicyRegistry] = None,
+):
+    """Class decorator registering a policy, bare or parenthesised::
+
+        @register_policy
+        class Mine(DistributionPolicy): ...
+
+        @register_policy(registry=my_registry)
+        class Mine(DistributionPolicy): ...
+    """
+
+    def deco(c: Type[DistributionPolicy]) -> Type[DistributionPolicy]:
+        (registry or _GLOBAL).register(c)
+        return c
+
+    return deco(cls) if cls is not None else deco

@@ -133,6 +133,7 @@ class TrianaService:
         self._hb_running = False
         peer.on("triana-deploy", self._on_deploy)
         peer.on("group-exec", self._on_exec)
+        peer.on("group-exec-batch", self._on_exec_batch)
         peer.on("triana-checkpoint", self._on_checkpoint)
         peer.on("triana-rewire", self._on_rewire)
         peer.on("triana-drain", self._on_drain)
@@ -295,6 +296,31 @@ class TrianaService:
                     size_bytes=message.size_bytes,
                 )
             return
+        self._accept(dep, iteration, inputs)
+
+    def _on_exec_batch(self, message: Message) -> None:
+        """Unpack a ``group-exec-batch`` (chunked farm) into iterations.
+
+        Each item goes through the same dedup/idempotence path as a
+        single ``group-exec``; results still ship individually.
+        """
+        deployment_id, items = message.payload
+        dep = self.deployments.get(deployment_id)
+        if dep is None:
+            target = self._tombstones.get(deployment_id)
+            if target is not None and self.peer.online:
+                new_peer, new_dep = target
+                self.peer.send(
+                    new_peer,
+                    "group-exec-batch",
+                    payload=(new_dep, items),
+                    size_bytes=message.size_bytes,
+                )
+            return
+        for iteration, inputs in items:
+            self._accept(dep, iteration, inputs)
+
+    def _accept(self, dep: _Deployment, iteration: int, inputs) -> None:
         if iteration in dep.shipped:
             # Already computed and shipped: re-ship the cached outputs so a
             # redispatch after a lost result converges without re-execution.

@@ -257,3 +257,43 @@ class TestPipeline:
         envelope = sim.run(until=run_pipeline(user, sites, spec))
         assert not envelope["report"]["ok"]
         assert envelope["report"]["rows"] == 0
+
+
+class TestMultistageGraph:
+    def test_filter_then_sort_two_groups(self):
+        """Separate filter and sort farms in one staged distributed run."""
+        from repro import ConsumerGrid
+        from repro.apps.database import (
+            build_database_multistage_graph,
+            register_table,
+        )
+        from repro.core import LocalEngine
+
+        rows = [(i, float((i * 29) % 17)) for i in range(64)]
+        register_table("multistage-db", TableData(["id", "val"], rows))
+
+        def build():
+            return build_database_multistage_graph(
+                "multistage-db", chunk_rows=8,
+                where=[["val", ">", 3.0]], sort_column="val",
+            )
+
+        g = build()
+        assert {grp.name: grp.policy for grp in g.groups()} == {
+            "FilterFarm": "parallel",
+            "SortFarm": "chunked",
+        }
+        grid = ConsumerGrid(n_workers=3, seed=41)
+        report = grid.run(g, iterations=8)
+        assert report.policy == "parallel+chunked"
+        assert len(report.group_results) == 8
+
+        local = LocalEngine(build())
+        local.run(8)
+        reference = local.units["Verify"]
+        distributed = grid.controller.last_downstream.units["Verify"]
+        assert distributed.merged.rows == reference.merged.rows
+        for chunk in report.group_results:
+            vals = chunk[0].column("val")
+            assert vals == sorted(vals)
+            assert all(v > 3.0 for v in vals)

@@ -169,3 +169,32 @@ class TestDistributedFarm:
 
         collector = grid.controller.last_downstream.units["Collector"]
         assert collector.animation().shape[0] == 6
+
+
+class TestPipelineTwoGroups:
+    def test_post_production_matches_local(self):
+        """Render farm + post-production farm in one staged run."""
+        from repro import ConsumerGrid
+        from repro.apps.galaxy import build_galaxy_pipeline_graph
+
+        generate_snapshots(n_frames=5, n_particles=120, seed=21,
+                           register_as="test-ds-pipe")
+        g = build_galaxy_pipeline_graph("test-ds-pipe", resolution=24)
+        assert {grp.name: grp.policy for grp in g.groups()} == {
+            "RenderFarm": "parallel",
+            "PostFarm": "chunked",
+        }
+        grid = ConsumerGrid(n_workers=4, seed=22)
+        report = grid.run(g, iterations=5)
+        assert report.policy == "parallel+chunked"
+        assert len(report.group_results) == 5
+
+        local = LocalEngine(
+            build_galaxy_pipeline_graph("test-ds-pipe", resolution=24)
+        )
+        local.run(5)
+        reference = local.units["Collector"].animation()
+        distributed = (
+            grid.controller.last_downstream.units["Collector"].animation()
+        )
+        np.testing.assert_allclose(distributed, reference)

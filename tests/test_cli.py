@@ -51,6 +51,14 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "FFT" in out and "Wave" not in out.split("units registered")[1]
 
+    def test_policies_listing(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("parallel", "p2p", "chunked"):
+            assert name in out
+        assert "ParallelFarmPolicy" in out
+        assert "round_robin" in out and "weighted" in out
+
     def test_validate(self, graph_file, capsys):
         assert main(["validate", graph_file]) == 0
         out = capsys.readouterr().out

@@ -32,9 +32,7 @@ from repro.p2p import LAN_PROFILE
 def _reset_global_ids():
     from repro.mobility import cache
     from repro.p2p import discovery
-    from repro.service import controller
 
-    controller._dep_ids = itertools.count(1)
     cache._fetch_ids = itertools.count(1)
     discovery._request_ids = itertools.count(1)
 

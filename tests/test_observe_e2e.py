@@ -23,9 +23,7 @@ def _reset_global_ids():
     seed-scoped; two fresh processes agree without this)."""
     from repro.mobility import cache
     from repro.p2p import discovery
-    from repro.service import controller
 
-    controller._dep_ids = itertools.count(1)
     cache._fetch_ids = itertools.count(1)
     discovery._request_ids = itertools.count(1)
 

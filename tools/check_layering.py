@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Import-layering gate: keep the dependency arrows pointing one way.
+
+The architecture (docs/architecture.md) stacks the systems so that lower
+layers never know about higher ones, and the policy plug-in surface
+stays decoupled from the controller that hosts it:
+
+* ``repro.core`` (workflow model, engine, toolbox) must not import
+  ``repro.service`` or ``repro.p2p`` — graphs and units must stay
+  runnable without any grid;
+* ``repro.simkernel`` is the foundation: no imports from any other
+  ``repro`` subpackage;
+* ``repro.service.policies`` must not import
+  ``repro.service.controller`` — policies talk to the controller only
+  through the :class:`DispatchContext` services handed to them, never
+  by reaching into controller internals.
+
+The check is purely static: every ``import`` / ``from ... import`` in
+every module under ``src/repro`` is resolved (including relative
+imports) with :mod:`ast`, no code is executed.  Run it directly::
+
+    python tools/check_layering.py
+
+Exit status 0 = layering clean; each violation prints as
+``path:line: <rule>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# (package prefix the rule applies to, forbidden import prefix, why)
+RULES: tuple[tuple[str, str, str], ...] = (
+    ("repro.core", "repro.service",
+     "core must stay grid-free (no service imports)"),
+    ("repro.core", "repro.p2p",
+     "core must stay grid-free (no p2p imports)"),
+    ("repro.simkernel", "repro.core",
+     "simkernel is the foundation layer"),
+    ("repro.simkernel", "repro.p2p",
+     "simkernel is the foundation layer"),
+    ("repro.simkernel", "repro.service",
+     "simkernel is the foundation layer"),
+    ("repro.service.policies", "repro.service.controller",
+     "policies must use DispatchContext, not controller internals"),
+)
+
+
+def module_name(path: pathlib.Path) -> str:
+    """Dotted module name for a file under ``src/``."""
+    rel = path.relative_to(SRC).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def resolve_relative(module: str, node: ast.ImportFrom, is_package: bool) -> str:
+    """Absolute dotted target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module or ""
+    # A package's __init__ resolves level-1 relative to itself; a plain
+    # module resolves relative to its parent package.
+    anchor = module.split(".")
+    drop = node.level - 1 if is_package else node.level
+    if drop:
+        anchor = anchor[:-drop]
+    if node.module:
+        anchor.append(node.module)
+    return ".".join(anchor)
+
+
+def imported_targets(path: pathlib.Path) -> list[tuple[int, str]]:
+    """Every (lineno, absolute dotted target) imported by the file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    module = module_name(path)
+    is_package = path.name == "__init__.py"
+    targets: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                targets.append((node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_relative(module, node, is_package)
+            targets.append((node.lineno, base))
+            # ``from repro.service import controller`` imports a
+            # submodule even though the target prefix alone looks fine.
+            for alias in node.names:
+                targets.append((node.lineno, f"{base}.{alias.name}"))
+    return targets
+
+
+def check(paths: list[pathlib.Path]) -> list[str]:
+    violations = []
+    for path in sorted(paths):
+        module = module_name(path)
+        for lineno, target in imported_targets(path):
+            for scope, forbidden, why in RULES:
+                in_scope = module == scope or module.startswith(scope + ".")
+                hits = target == forbidden or target.startswith(forbidden + ".")
+                if in_scope and hits:
+                    rel = path.relative_to(REPO)
+                    violations.append(
+                        f"{rel}:{lineno}: {module} imports {target} — {why}"
+                    )
+    return violations
+
+
+def main() -> int:
+    files = list((SRC / "repro").rglob("*.py"))
+    if not files:
+        print("check_layering: no sources found under src/repro", file=sys.stderr)
+        return 1
+    violations = check(files)
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"layering check FAILED: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"layering check passed ({len(files)} modules, {len(RULES)} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
