@@ -1,0 +1,175 @@
+"""E17 (integrity) — the price of not trusting volunteers.
+
+Paper anchor: the Consumer Grid farms work onto anonymous consumer
+machines (§1, §3.1) and simply *trusts* whatever comes back.  This bench
+quantifies what that trust costs when it is misplaced: the galaxy farm
+runs against fleets with 0/1/2 saboteurs (consistent liars tampering
+with 90% of their results) under no verification, pair voting
+(``replicate-2``) and triple voting (``replicate-3``).
+
+Two headline numbers per cell: whether the rendered frames stayed
+bit-identical to the trusted fault-free baseline, and the makespan
+overhead of achieving that.  Unverified runs corrupt as soon as one
+saboteur joins; replicated runs stay exact at every saboteur count,
+paying only the replication + tie-break overhead.
+"""
+
+import numpy as np
+
+from benchlib import timed
+
+from repro.analysis import render_table
+from repro.apps.galaxy import build_galaxy_graph, generate_snapshots
+from repro.faults import Fault, FaultPlan
+from repro.grid import ConsumerGrid
+from repro.p2p import LAN_PROFILE
+
+N_WORKERS = 6
+N_FRAMES = 10
+N_PARTICLES = 200
+SABOTEUR_COUNTS = (0, 1, 2)
+VERIFICATIONS = ("none", "replicate-2", "replicate-3")
+TAMPER_RATE = 0.9
+
+
+def saboteur_plan(n_saboteurs, seed=17):
+    if n_saboteurs == 0:
+        return None
+    plan = FaultPlan(name=f"saboteurs-{n_saboteurs}")
+    for i in range(n_saboteurs):
+        plan.add(
+            Fault(
+                kind="saboteur",
+                at=5.0,
+                duration=100_000.0,
+                targets=(f"worker-{i}",),
+                fraction=TAMPER_RATE,
+                seed=seed + i,
+            )
+        )
+    return plan
+
+
+def make_grid(plan, seed=900, trace=False):
+    return ConsumerGrid(
+        n_workers=N_WORKERS,
+        seed=seed,
+        worker_profile=LAN_PROFILE,
+        controller_profile=LAN_PROFILE,
+        worker_efficiency=1e-5,
+        heartbeat_interval=1.0,
+        suspect_after_missed=2,
+        retry_timeout=30.0,
+        retry_interval=2.0,
+        fault_plan=plan,
+        trace=trace,
+    )
+
+
+def run_sweep(seed=900, trace=False):
+    generate_snapshots(N_FRAMES, N_PARTICLES, seed=3, register_as="e17-gal")
+    rows = []
+    baseline = None
+    reference = None
+    tracer = None
+    for n_saboteurs in SABOTEUR_COUNTS:
+        for verification in VERIFICATIONS:
+            # Trace the worst defended cell: the verification overhead
+            # shows up in the bottleneck attribution there.
+            traced = (
+                trace
+                and n_saboteurs == max(SABOTEUR_COUNTS)
+                and verification == "replicate-3"
+            )
+            grid = make_grid(saboteur_plan(n_saboteurs), seed=seed,
+                             trace=traced)
+            if traced:
+                tracer = grid.sim.tracer
+            graph = build_galaxy_graph("e17-gal", resolution=16)
+            report = grid.run(
+                graph, iterations=N_FRAMES, run_until=200_000,
+                verification=verification,
+            )
+            frames = [out[0].pixels for out in report.group_results]
+            if baseline is None:
+                # Trusted cell: no saboteurs, no verification.
+                baseline = report.makespan
+                reference = frames
+            identical = all(
+                np.array_equal(a, b) for a, b in zip(reference, frames)
+            )
+            integ = report.integrity
+            rows.append(
+                {
+                    "saboteurs": n_saboteurs,
+                    "verification": verification,
+                    "makespan_s": report.makespan,
+                    "overhead_pct": 100.0 * (report.makespan / baseline - 1.0),
+                    "identical": identical,
+                    "replicas": integ.get("replicas_issued", 0),
+                    "tie_breaks": integ.get("tie_breaks", 0),
+                    "overturned": integ.get("overturned", 0),
+                    "convicted": len(integ.get("convicted", {})),
+                }
+            )
+    return {"rows": rows, "tracer": tracer}
+
+
+def test_e17_integrity_sweep(benchmark, record_bench):
+    result, wall = timed(benchmark, run_sweep, kwargs={"trace": True})
+    rows = result["rows"]
+    by = {(r["saboteurs"], r["verification"]): r for r in rows}
+    # Trust is free only while every peer is honest.
+    assert by[(0, "none")]["identical"]
+    for n in SABOTEUR_COUNTS[1:]:
+        assert not by[(n, "none")]["identical"]
+    # Voting restores exactness at every saboteur count and both k.
+    for n in SABOTEUR_COUNTS:
+        for verification in ("replicate-2", "replicate-3"):
+            assert by[(n, verification)]["identical"]
+    # The defence was really exercised: saboteurs lost votes and were
+    # convicted once present.
+    worst = by[(max(SABOTEUR_COUNTS), "replicate-3")]
+    assert worst["overturned"] > 0
+    assert worst["convicted"] >= 1
+    # A clean fleet never needs a tie-break.
+    assert by[(0, "replicate-3")]["tie_breaks"] == 0
+    record_bench(
+        "e17_integrity",
+        seed=900,
+        wall_s=wall,
+        tracer=result["tracer"],
+        rows=rows,
+        table=render_table(
+            [
+                "saboteurs",
+                "verification",
+                "makespan (s)",
+                "overhead (%)",
+                "identical",
+                "replicas",
+                "tie-breaks",
+                "overturned",
+                "convicted",
+            ],
+            [
+                (
+                    r["saboteurs"],
+                    r["verification"],
+                    r["makespan_s"],
+                    r["overhead_pct"],
+                    r["identical"],
+                    r["replicas"],
+                    r["tie_breaks"],
+                    r["overturned"],
+                    r["convicted"],
+                )
+                for r in rows
+            ],
+            title=(
+                f"E17  result integrity, galaxy farm ({N_FRAMES} frames, "
+                f"{N_WORKERS} workers, tamper rate {TAMPER_RATE:g}): "
+                "unverified runs corrupt, voted runs stay exact"
+            ),
+        ),
+    )

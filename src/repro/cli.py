@@ -103,6 +103,35 @@ def _cmd_policies(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from .faults import CHAOS_LEVELS, FAULT_KIND_DOCS, chaos
+
+    print(render_table(
+        ["kind", "what it does"],
+        sorted(FAULT_KIND_DOCS.items()),
+        title=f"{len(FAULT_KIND_DOCS)} fault kinds registered",
+    ))
+    print(render_table(
+        ["level"] + sorted(next(iter(CHAOS_LEVELS.values()))),
+        [
+            (level, *[params[k] for k in sorted(params)])
+            for level, params in CHAOS_LEVELS.items()
+        ],
+        title="chaos() preset levels",
+    ))
+    if args.level is not None:
+        workers = [f"worker-{i}" for i in range(args.workers)]
+        plan = chaos(args.level, seed=args.seed, workers=workers,
+                     portal="portal")
+        print(render_table(
+            ["fault"],
+            [(f.describe(),) for f in plan],
+            title=(f"chaos({args.level!r}, seed={args.seed}, "
+                   f"workers={args.workers}) → {len(plan)} faults"),
+        ))
+    return 0
+
+
 def _cmd_convert(args) -> int:
     text = open(args.graph).read()
     graph = load_graph_text(text, args.from_format)
@@ -164,6 +193,7 @@ def _cmd_run(args) -> int:
     )
     report = grid.run(
         graph, iterations=args.iterations, probes=probes, dispatch=args.dispatch,
+        verification=args.verification,
         trace_out=args.trace_out, metrics_out=args.metrics_out,
     )
     if args.trace_out:
@@ -172,19 +202,24 @@ def _cmd_run(args) -> int:
               f"({summary.get('spans', 0)} spans, {summary.get('events', 0)} events)")
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
-    print(render_kv(
-        [
-            ("mode", f"simulated grid ({args.workers} workers, "
-                     f"{args.discovery} discovery)"),
-            ("policy", report.policy),
-            ("iterations", report.iterations),
-            ("deploy time (sim s)", report.deploy_time),
-            ("makespan (sim s)", report.makespan),
-            ("re-dispatches", report.redispatches),
-            ("placements", dict(report.placements)),
-        ],
-        title=f"ran {graph.name}",
-    ))
+    rows = [
+        ("mode", f"simulated grid ({args.workers} workers, "
+                 f"{args.discovery} discovery)"),
+        ("policy", report.policy),
+        ("iterations", report.iterations),
+        ("deploy time (sim s)", report.deploy_time),
+        ("makespan (sim s)", report.makespan),
+        ("re-dispatches", report.redispatches),
+        ("placements", dict(report.placements)),
+    ]
+    if report.integrity:
+        rows += [
+            ("verification", report.integrity.get("verification")),
+            ("replicas issued", report.integrity.get("replicas_issued")),
+            ("overturned results", report.integrity.get("overturned")),
+            ("convicted peers", report.integrity.get("convicted")),
+        ]
+    print(render_kv(rows, title=f"ran {graph.name}"))
     for name, values in report.probe_values.items():
         print(f"probe {name}: {len(values)} values")
     return 0
@@ -225,6 +260,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_policies.set_defaults(fn=_cmd_policies)
 
+    p_faults = sub.add_parser(
+        "faults", help="list fault kinds and chaos() preset contents"
+    )
+    p_faults.add_argument("--level", default=None,
+                          help="expand one preset into its concrete plan "
+                               "(mild | moderate | heavy | hostile)")
+    p_faults.add_argument("--seed", type=int, default=0,
+                          help="seed for the expanded plan (with --level)")
+    p_faults.add_argument("--workers", type=int, default=6,
+                          help="fleet size for the expanded plan "
+                               "(with --level)")
+    p_faults.set_defaults(fn=_cmd_faults)
+
     p_validate = sub.add_parser("validate", help="type-check a task graph file")
     p_validate.add_argument("graph")
     p_validate.add_argument("--from-format", default="auto",
@@ -250,6 +298,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run.add_argument("--dispatch", default="round_robin",
                        choices=dispatch_policy_names())
+    p_run.add_argument("--verification", default="none", metavar="SPEC",
+                       help="result-integrity strategy: none, replicate-<k> "
+                            "(vote over k peers), or spot-<p> (recompute a "
+                            "fraction p locally); grid mode only")
     p_run.add_argument("--probe", action="append",
                        help="task name to observe (repeatable)")
     p_run.add_argument("--trace-out", default=None, metavar="PATH",

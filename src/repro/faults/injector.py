@@ -26,6 +26,7 @@ from typing import Any, Optional
 from ..p2p.network import SimNetwork
 from ..p2p.peer import Peer
 from ..simkernel import Simulator
+from .compute import COMPUTE_FAULT_KINDS, ComputeFaultModel, ComputeFaultWindow
 from .errors import FaultError
 from .plan import FaultPlan
 
@@ -52,6 +53,8 @@ class FaultInjector:
         self.availability: dict[str, Any] = {}
         self._scheduled = False
         self._active_cuts: dict[int, int] = {}  # plan index -> network cut id
+        #: (fault identity, target) -> installed compute-fault window
+        self._compute_windows: dict[tuple[int, str], Any] = {}
 
     # -- scheduling -----------------------------------------------------------
     def schedule(self) -> "FaultInjector":
@@ -98,6 +101,12 @@ class FaultInjector:
             elif fault.kind == "slowdown":
                 self.sim.call_at(fault.at, lambda f=fault: self._slow(f))
                 self.sim.call_at(fault.ends_at, lambda f=fault: self._unslow(f))
+            elif fault.kind in COMPUTE_FAULT_KINDS:
+                self.sim.call_at(fault.at, lambda f=fault: self._corrupt_compute(f))
+                if fault.duration > 0:
+                    self.sim.call_at(
+                        fault.ends_at, lambda f=fault: self._heal_compute(f)
+                    )
             else:  # pragma: no cover - FAULT_KINDS is closed
                 raise FaultError(f"unhandled fault kind {fault.kind!r}")
 
@@ -151,6 +160,38 @@ class FaultInjector:
         setattr(self.network, attr, baseline)
         self._log(f"{fault.kind}-end", f"p={baseline:g}")
 
+    def _corrupt_compute(self, fault) -> None:
+        """Install a tampering window on each target's compute-fault model.
+
+        Models live in ``SimNetwork.compute_faults`` — a neutral registry
+        the worker service polls after every execution, so neither layer
+        imports the other (``tools/check_layering.py`` enforces the
+        faults → service direction).
+        """
+        for target in fault.targets:
+            model = self.network.compute_faults.get(target)
+            if model is None:
+                model = ComputeFaultModel(peer_id=target)
+                self.network.compute_faults[target] = model
+            window = ComputeFaultWindow(
+                kind=fault.kind,
+                seed=fault.seed,
+                fraction=fault.fraction,
+                since=fault.at,
+                until=fault.ends_at if fault.duration > 0 else float("inf"),
+            )
+            self._compute_windows[(id(fault), target)] = window
+            model.add_window(window)
+            self._log(fault.kind, f"{target} p={fault.fraction:g}")
+
+    def _heal_compute(self, fault) -> None:
+        for target in fault.targets:
+            window = self._compute_windows.pop((id(fault), target), None)
+            model = self.network.compute_faults.get(target)
+            if window is not None and model is not None:
+                model.remove_window(window)
+                self._log(f"{fault.kind}-end", target)
+
     def _slow(self, fault) -> None:
         for target in fault.targets:
             self.network.set_speed_factor(target, fault.factor)
@@ -166,13 +207,20 @@ class FaultInjector:
     def faults_injected(self) -> int:
         """Number of fault *onsets* applied so far (heals/ends excluded)."""
         onsets = {"crash", "partition", "corrupt", "duplicate", "reorder", "slowdown"}
+        onsets |= COMPUTE_FAULT_KINDS
         return sum(1 for entry in self.log if entry["action"] in onsets)
 
     def summary(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "plan": self.plan.name,
             "planned": len(self.plan),
             "injected": self.faults_injected,
             "kinds": self.plan.kinds(),
             "log": list(self.log),
         }
+        models = getattr(self.network, "compute_faults", {})
+        if models:
+            out["compute"] = [
+                models[peer].summary() for peer in sorted(models)
+            ]
+        return out

@@ -21,22 +21,38 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
+from .compute import COMPUTE_FAULT_KINDS
 from .errors import FaultPlanError
 
-__all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "chaos", "CHAOS_LEVELS"]
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_KIND_DOCS",
+    "COMPUTE_FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "chaos",
+    "CHAOS_LEVELS",
+]
+
+#: One-line description per fault kind — the ``repro faults`` CLI table.
+FAULT_KIND_DOCS = {
+    "crash": "peer offline for `duration`, then restarts (0 = permanent)",
+    "partition": "cut targets <-> targets_b for `duration`",
+    "corrupt": "corrupt `fraction` of messages for `duration`",
+    "duplicate": "duplicate `fraction` of messages for `duration`",
+    "reorder": "reorder `fraction` of messages for `duration`",
+    "slowdown": "scale targets' CPU speed by `factor` for `duration`",
+    "portal-outage": "rendezvous/portal peer offline for `duration`",
+    "saboteur": "targets consistently return wrong results for `fraction` "
+                "of iterations (same wrong answer on re-execution)",
+    "flaky_compute": "targets transiently return wrong results for "
+                     "`fraction` of executions (re-execution usually clean)",
+    "liar_heartbeat": "saboteur whose liveness signals stay healthy — only "
+                      "result verification can expose it",
+}
 
 #: Every fault kind the injector knows how to apply.
-FAULT_KINDS = frozenset(
-    {
-        "crash",  # peer offline for `duration`, then restarts
-        "partition",  # cut targets <-> targets_b for `duration`
-        "corrupt",  # corrupt `fraction` of messages for `duration`
-        "duplicate",  # duplicate `fraction` of messages for `duration`
-        "reorder",  # reorder `fraction` of messages for `duration`
-        "slowdown",  # scale targets' CPU speed by `factor` for `duration`
-        "portal-outage",  # rendezvous/portal peer offline for `duration`
-    }
-)
+FAULT_KINDS = frozenset(FAULT_KIND_DOCS)
 
 _WINDOW_KINDS = frozenset({"corrupt", "duplicate", "reorder"})
 
@@ -60,9 +76,14 @@ class Fault:
     targets_b:
         Side B of a partition cut.
     fraction:
-        Message fraction for corrupt/duplicate/reorder windows.
+        Message fraction for corrupt/duplicate/reorder windows, or the
+        per-iteration tampering probability of a compute fault
+        (saboteur / flaky_compute / liar_heartbeat).
     factor:
         Speed multiplier for slowdowns (0.25 = four times slower).
+    seed:
+        Entropy root of a compute fault's tampering decisions — the
+        wrong answers are a pure function of ``(seed, peer, iteration)``.
     """
 
     kind: str
@@ -72,6 +93,7 @@ class Fault:
     targets_b: tuple[str, ...] = ()
     fraction: float = 0.0
     factor: float = 1.0
+    seed: int = 0
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -100,6 +122,13 @@ class Fault:
                 raise FaultPlanError("slowdown factor must be positive")
             if self.duration <= 0:
                 raise FaultPlanError("slowdown fault needs a positive duration")
+        if self.kind in COMPUTE_FAULT_KINDS:
+            if not self.targets:
+                raise FaultPlanError(f"{self.kind} fault needs at least one target")
+            if not 0.0 < self.fraction <= 1.0:
+                raise FaultPlanError(
+                    f"{self.kind} fault needs fraction in (0, 1], got {self.fraction}"
+                )
 
     @property
     def ends_at(self) -> float:
@@ -114,7 +143,7 @@ class Fault:
             bits.append("on " + ",".join(self.targets))
         if self.targets_b:
             bits.append("vs " + ",".join(self.targets_b))
-        if self.kind in _WINDOW_KINDS:
+        if self.kind in _WINDOW_KINDS or self.kind in COMPUTE_FAULT_KINDS:
             bits.append(f"p={self.fraction:g}")
         if self.kind == "slowdown":
             bits.append(f"x{self.factor:g}")
@@ -175,7 +204,9 @@ class FaultPlan:
 
 
 #: Preset intensities for :func:`chaos`.  Fractions are of the worker
-#: fleet (crashes) or of the message stream (corrupt/duplicate/reorder).
+#: fleet (crashes, saboteurs, flaky peers) or of the message stream
+#: (corrupt/duplicate/reorder); ``tamper_rate`` is the per-iteration
+#: probability that a compute-faulty peer corrupts a result.
 CHAOS_LEVELS = {
     "mild": dict(
         crash_fraction=0.1,
@@ -185,6 +216,10 @@ CHAOS_LEVELS = {
         reorder_fraction=0.05,
         stragglers=0,
         portal_outage=False,
+        saboteur_fraction=0.0,
+        flaky_fraction=0.0,
+        liar=False,
+        tamper_rate=0.0,
     ),
     "moderate": dict(
         crash_fraction=0.3,
@@ -194,6 +229,10 @@ CHAOS_LEVELS = {
         reorder_fraction=0.1,
         stragglers=1,
         portal_outage=False,
+        saboteur_fraction=0.0,
+        flaky_fraction=0.0,
+        liar=False,
+        tamper_rate=0.0,
     ),
     "heavy": dict(
         crash_fraction=0.5,
@@ -203,6 +242,27 @@ CHAOS_LEVELS = {
         reorder_fraction=0.2,
         stragglers=2,
         portal_outage=True,
+        saboteur_fraction=0.0,
+        flaky_fraction=0.0,
+        liar=False,
+        tamper_rate=0.0,
+    ),
+    # Peers stay up and chatty — they just lie.  No crashes or transport
+    # loss: every fault here is invisible to liveness-based recovery, so
+    # only result verification (docs/robustness.md, "Result integrity")
+    # keeps the answers right.
+    "hostile": dict(
+        crash_fraction=0.0,
+        partitions=0,
+        corrupt_fraction=0.0,
+        duplicate_fraction=0.02,
+        reorder_fraction=0.05,
+        stragglers=0,
+        portal_outage=False,
+        saboteur_fraction=0.34,
+        flaky_fraction=0.17,
+        liar=True,
+        tamper_rate=0.9,
     ),
 }
 
@@ -302,5 +362,46 @@ def chaos(
                 targets=(portal,),
             )
         )
+
+    # Saboteur population: peers that compute but lie.  Saboteurs (and
+    # the liar, whose heartbeats stay pristine) corrupt consistently for
+    # the whole chaos window; flaky peers corrupt transiently.  All
+    # guards are fraction > 0 so pre-hostile presets draw nothing and
+    # stay bit-identical to their historical plans.
+    remaining = list(workers)
+
+    def draft(fleet_fraction: float, count: Optional[int] = None) -> list[str]:
+        n = count if count is not None else int(round(fleet_fraction * len(workers)))
+        n = min(n, len(remaining))
+        if workers and count is None and fleet_fraction > 0 and n == 0:
+            n = min(1, len(remaining))
+        if n == 0:
+            return []
+        picks = [remaining[i] for i in rng.choice(len(remaining), size=n, replace=False)]
+        for p in picks:
+            remaining.remove(p)
+        return sorted(picks)
+
+    rate = params.get("tamper_rate", 0.0)
+    if rate > 0:
+        for kind, chosen in (
+            ("saboteur", draft(params.get("saboteur_fraction", 0.0))
+             if params.get("saboteur_fraction", 0.0) > 0 else []),
+            ("flaky_compute", draft(params.get("flaky_fraction", 0.0))
+             if params.get("flaky_fraction", 0.0) > 0 else []),
+            ("liar_heartbeat", draft(0.0, count=1)
+             if params.get("liar", False) else []),
+        ):
+            for target in chosen:
+                plan.add(
+                    Fault(
+                        kind=kind,
+                        at=start,
+                        duration=horizon,
+                        targets=(target,),
+                        fraction=rate if kind != "flaky_compute" else rate / 2.0,
+                        seed=int(rng.integers(2**31)),
+                    )
+                )
 
     return plan

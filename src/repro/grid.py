@@ -238,6 +238,7 @@ class ConsumerGrid:
         workers: Optional[list[str]] = None,
         run_until: Optional[float] = None,
         dispatch: str = "round_robin",
+        verification: str = "none",
         trace_out: Optional[str] = None,
         metrics_out: Optional[str] = None,
     ) -> RunReport:
@@ -251,6 +252,10 @@ class ConsumerGrid:
         resolve against the controller's
         :class:`~repro.service.policies.PolicyRegistry` — pass
         ``policy_registry`` at construction to inject custom ones.
+        ``verification`` turns on result-integrity checking (``none`` |
+        ``replicate-<k>`` | ``spot-<p>``, see
+        :mod:`repro.service.integrity`) — the defence against the chaos
+        layer's saboteur faults.
         ``trace_out`` writes the run's trace to that path afterwards
         (``.json`` → Chrome/Perfetto, ``.jsonl`` → event log,
         ``.txt``/``.log`` → text timeline); ``metrics_out`` writes the
@@ -268,7 +273,8 @@ class ConsumerGrid:
         if workers is None:
             workers = self.discover_workers()
         done = self.controller.run_distributed(
-            graph, iterations, workers, probes, dispatch=dispatch
+            graph, iterations, workers, probes, dispatch=dispatch,
+            verification=verification,
         )
         if run_until is not None:
             self.sim.run(until=run_until)

@@ -60,7 +60,10 @@ _CONTAINER_NAMES = frozenset({"sim.run", "controller.run", "controller.deploy"})
 #: bottleneck buckets in sweep priority order (first active wins);
 #: ``network_transfer`` is the residual — in a discrete-event grid, time
 #: with no categorised span open is time waiting on message delivery.
-_BUCKETS = ("compute", "module_fetch", "discovery", "redispatch_recovery")
+_BUCKETS = (
+    "compute", "module_fetch", "discovery", "redispatch_recovery",
+    "verification_overhead",
+)
 _RESIDUAL_BUCKET = "network_transfer"
 
 
@@ -511,6 +514,11 @@ def _bucket_of(span: VSpan) -> Optional[str]:
         return "discovery"
     if span.name == "controller.redispatch":
         return "redispatch_recovery"
+    if span.name in ("verify.wait", "verify.recompute"):
+        # Result-integrity idle time: first vote in hand, quorum (or a
+        # local quiz recompute) still pending.  Lowest priority, so time
+        # genuinely overlapped by compute stays attributed to compute.
+        return "verification_overhead"
     return None
 
 

@@ -141,6 +141,10 @@ class SimNetwork:
         self._next_cut_id = 1
         self.overlay = nx.Graph()
         self.stats = NetStats()
+        #: per-peer compute-fault models, keyed by peer id.  The faults
+        #: layer installs entries, the service layer polls them — this
+        #: neutral dict is the only coupling point between the two.
+        self.compute_faults: dict[str, Any] = {}
 
     # -- membership ---------------------------------------------------------
     def add_node(

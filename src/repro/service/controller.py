@@ -37,6 +37,7 @@ from . import migration
 from .deploy import DeploymentManager
 from .detector import HeartbeatFailureDetector
 from .errors import SchedulingError
+from .integrity import ReputationLedger, make_verifier
 from .partition import StageRouter, partition_stages
 from .policies import (
     DispatchContext,
@@ -73,6 +74,8 @@ class RunReport:
     recovery: dict[str, Any] = field(default_factory=dict)
     #: tracer summary for the run (see docs/observability.md)
     tracing: dict[str, Any] = field(default_factory=dict)
+    #: result-verification summary (empty when verification="none")
+    integrity: dict[str, Any] = field(default_factory=dict)
 
 
 class TrianaController:
@@ -114,6 +117,8 @@ class TrianaController:
             heartbeat_interval=heartbeat_interval,
             suspect_after_missed=suspect_after_missed,
         )
+        #: integrity convictions accumulate across runs, like the detector
+        self.reputation = ReputationLedger(self.detector)
         #: distribution-policy registry this controller schedules against
         self.policies = (
             policy_registry if policy_registry is not None else global_policy_registry()
@@ -205,8 +210,16 @@ class TrianaController:
         ev = ctx.result_events.get(iteration) if ctx is not None else None
         if ev is None or ev.triggered:
             # Redispatch/speculation race or network duplicate: first
-            # result won already, later copies are dropped idempotently.
+            # result won already, later copies are dropped idempotently —
+            # but an attached verifier still audits them for honesty.
+            if ctx is not None and ctx.verifier is not None:
+                ctx.verifier.on_late_result(ctx, iteration, message.src, outputs)
             self._duplicate_results += 1
+            return
+        if ctx.verifier is not None:
+            # The verifier owns settling: it calls ctx.settle once the
+            # result is trusted (quorum, quiz pass, or no check due).
+            ctx.verifier.on_result(ctx, iteration, message.src, outputs)
             return
         ctx.policy.on_result(ctx, iteration, worker=message.src)
         ev.succeed(outputs)
@@ -289,23 +302,33 @@ class TrianaController:
         workers: list[str],
         probes: tuple[str, ...] = (),
         dispatch: str = "round_robin",
+        verification: str = "none",
     ) -> Event:
         """Execute ``graph`` for ``iterations`` over ``workers``.
 
         ``dispatch`` names the farm dealing policy (see
         :func:`~repro.service.placement.dispatch_policy_names`); group
         distribution policies come from the graph itself and are resolved
-        against :attr:`policies`.  Returns a process event yielding a
-        :class:`RunReport`.
+        against :attr:`policies`.  ``verification`` selects a result-
+        integrity strategy (``none`` | ``replicate-<k>`` | ``spot-<p>``,
+        see :mod:`repro.service.integrity`).  Returns a process event
+        yielding a :class:`RunReport`.
         """
         if iterations < 1:
             raise SchedulingError("iterations must be >= 1")
+        # Fail fast on a bad spec, before the run process exists.
+        make_verifier(verification)
         return self.sim.process(
-            self._run_proc(graph, iterations, list(workers), probes, dispatch),
+            self._run_proc(
+                graph, iterations, list(workers), probes, dispatch, verification
+            ),
             name="triana-run",
         )
 
-    def _run_proc(self, graph, iterations, workers, probes, dispatch="round_robin"):
+    def _run_proc(
+        self, graph, iterations, workers, probes, dispatch="round_robin",
+        verification="none",
+    ):
         tracer = self.sim.tracer
         run_span = (
             tracer.begin(
@@ -317,7 +340,7 @@ class TrianaController:
         )
         try:
             report = yield from self._run_proc_inner(
-                graph, iterations, workers, probes, dispatch, run_span
+                graph, iterations, workers, probes, dispatch, run_span, verification
             )
         finally:
             if run_span is not None:
@@ -325,7 +348,9 @@ class TrianaController:
         report.tracing = self.sim.tracer.summary()
         return report
 
-    def _make_context(self, group, dispatch: str, iterations: int) -> DispatchContext:
+    def _make_context(
+        self, group, dispatch: str, iterations: int, verification: str = "none"
+    ) -> DispatchContext:
         ctx = DispatchContext(
             peer=self.peer,
             detector=self.detector,
@@ -337,9 +362,14 @@ class TrianaController:
         )
         ctx.policy = self.policies.create(group.policy)
         ctx.iterations = iterations
+        ctx.group = group
+        ctx.verifier = make_verifier(verification, ledger=self.reputation)
         return ctx
 
-    def _run_proc_inner(self, graph, iterations, workers, probes, dispatch, run_span):
+    def _run_proc_inner(
+        self, graph, iterations, workers, probes, dispatch, run_span,
+        verification="none",
+    ):
         start = self.sim.now
         net = self.peer.network.stats
         net_before = (
@@ -390,7 +420,7 @@ class TrianaController:
         )
         contexts: list[DispatchContext] = []
         for group in plan.groups:
-            ctx = self._make_context(group, dispatch, iterations)
+            ctx = self._make_context(group, dispatch, iterations, verification)
             yield from ctx.policy.deploy(ctx, group, workers)
             contexts.append(ctx)
         deploy_time = self.sim.now - deploy_start
@@ -408,6 +438,8 @@ class TrianaController:
             self._ctx_of_dep.update(dict.fromkeys(ctx.placements, ctx))
             ctx.result_events = {it: self.sim.event() for it in range(iterations)}
             ctx.policy.start(ctx, iterations)
+            if ctx.verifier is not None:
+                ctx.verifier.start(ctx)
 
         # -- staged dispatch & collection -------------------------------------
         router = StageRouter(plan, iterations)
@@ -443,6 +475,8 @@ class TrianaController:
                     self._notify("iteration-complete", iteration=it)
             close_stage(s)
             ctx.policy.finalize(ctx)
+            if ctx.verifier is not None:
+                ctx.verifier.finalize(ctx)
             ctx.result_events = {}
             group_results = results
         self._ctx_of_dep = {}
@@ -453,6 +487,18 @@ class TrianaController:
         }
         if run_span is not None:
             run_span.set(policy=policy_label, redispatches=redispatches["n"])
+
+        integrity: dict[str, Any] = {}
+        verifiers = [c.verifier for c in contexts if c.verifier is not None]
+        if verifiers:
+            merged: dict[str, Any] = dict(verifiers[0].report())
+            for verifier in verifiers[1:]:
+                for key, value in verifier.report().items():
+                    if isinstance(value, int):
+                        merged[key] = merged.get(key, 0) + value
+            merged["verification"] = verification
+            merged.update(self.reputation.summary())
+            integrity = merged
 
         recovery = dict(self.detector.snapshot(self.sim.now))
         recovery.update(
@@ -480,6 +526,7 @@ class TrianaController:
             messages_duplicated=net.duplicated - net_before[4],
             messages_reordered=net.reordered - net_before[5],
             recovery=recovery,
+            integrity=integrity,
         )
 
     # -- local fallback -------------------------------------------------------------

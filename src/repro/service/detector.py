@@ -39,6 +39,10 @@ class WorkerHealth:
     quarantined_until: float = 0.0
     quarantines: int = 0
     blacklisted: bool = False
+    #: most recent penalty reason that triggered a quarantine
+    quarantine_reason: str = ""
+    #: reason recorded at the moment of blacklisting
+    blacklist_reason: str = ""
 
 
 class HeartbeatFailureDetector:
@@ -96,10 +100,12 @@ class HeartbeatFailureDetector:
         rec.suspected = False
         rec.score = min(1.0, rec.score + self.result_reward)
 
-    def penalise(self, worker: str, now: float, amount: float) -> None:
-        """External penalty hook (deploy failures etc.)."""
+    def penalise(
+        self, worker: str, now: float, amount: float, reason: str = "penalty"
+    ) -> None:
+        """External penalty hook (deploy failures, integrity convictions...)."""
         rec = self.workers.setdefault(worker, WorkerHealth())
-        self._drain(rec, now, amount)
+        self._drain(rec, now, amount, reason)
 
     # -- the periodic check ---------------------------------------------------
     def check(self, now: float) -> list[str]:
@@ -112,17 +118,23 @@ class HeartbeatFailureDetector:
             if now - rec.last_heartbeat >= deadline:
                 rec.suspected = True
                 rec.suspicions += 1
-                self._drain(rec, now, self.suspicion_penalty)
+                self._drain(rec, now, self.suspicion_penalty, "heartbeat-silence")
                 fresh.append(worker)
         return fresh
 
-    def _drain(self, rec: WorkerHealth, now: float, amount: float) -> None:
+    def _drain(
+        self, rec: WorkerHealth, now: float, amount: float, reason: str = "penalty"
+    ) -> None:
         rec.score = max(0.0, rec.score - amount)
         if rec.score < self.quarantine_threshold and now >= rec.quarantined_until:
             rec.quarantined_until = now + self.quarantine_window
             rec.quarantines += 1
+            rec.quarantine_reason = reason
             if rec.quarantines >= self.blacklist_after:
                 rec.blacklisted = True
+                rec.blacklist_reason = (
+                    f"{reason} ({rec.quarantines} quarantines)"
+                )
 
     # -- queries --------------------------------------------------------------
     def is_alive(self, worker: str, now: float) -> bool:
@@ -158,4 +170,22 @@ class HeartbeatFailureDetector:
             ),
             "health": {w: round(r.score, 3) for w, r in self.workers.items()},
             "heartbeats": sum(r.heartbeats for r in self.workers.values()),
+            # Why a peer is excluded, not just that it is: deadlines for
+            # quarantines still running, and the reason each quarantine /
+            # blacklist was issued (empty strings never made the cut).
+            "quarantine_deadlines": {
+                w: round(r.quarantined_until, 3)
+                for w, r in sorted(self.workers.items())
+                if now < r.quarantined_until
+            },
+            "quarantine_reasons": {
+                w: r.quarantine_reason
+                for w, r in sorted(self.workers.items())
+                if r.quarantine_reason
+            },
+            "blacklist_reasons": {
+                w: r.blacklist_reason
+                for w, r in sorted(self.workers.items())
+                if r.blacklisted
+            },
         }

@@ -27,6 +27,7 @@ __all__ = [
     "DispatchPolicy",
     "RoundRobin",
     "WeightedBySpeed",
+    "ReputationWeighted",
     "make_dispatch_policy",
     "register_dispatch_policy",
     "dispatch_policy_names",
@@ -134,6 +135,74 @@ class WeightedBySpeed(DispatchPolicy):
         self.offline.discard(replica)
 
 
+@dataclass
+class ReputationWeighted(WeightedBySpeed):
+    """Least-finish-time dispatch biased by failure-detector trust scores.
+
+    Extends :class:`WeightedBySpeed`: each replica's effective speed is
+    scaled by its health score from the
+    :class:`~repro.service.detector.HeartbeatFailureDetector` — which the
+    integrity layer's :class:`~repro.service.integrity.ReputationLedger`
+    drains on every conviction — so a peer caught lying receives
+    steadily less work, and blacklisted or quarantined peers receive
+    none while any trusted peer remains.  Without a bound detector (the
+    farm binds one via :meth:`bind_reputation` before ``setup``) it
+    degrades to plain :class:`WeightedBySpeed`.
+    """
+
+    def __post_init__(self):
+        self._detector = None
+        self._hosts: list[str] = []
+        self._sim = None
+
+    def bind_reputation(self, detector, hosts: list[str], sim) -> None:
+        """Attach the detector and the replica→host mapping for this run."""
+        self._detector = detector
+        self._hosts = list(hosts)
+        self._sim = sim
+
+    #: trust floor — an untrusted peer is deprioritised, not divided by zero
+    TRUST_FLOOR = 0.05
+
+    def choose(self, iteration: int) -> int:
+        if self._detector is None or self._sim is None:
+            return super().choose(iteration)
+        now = self._sim.now
+        k = len(self.speeds)
+
+        def trusted(r: int) -> bool:
+            return r < len(self._hosts) and self._detector.is_dispatchable(
+                self._hosts[r], now
+            )
+
+        eligible = [
+            r for r in range(k) if r not in self.offline and trusted(r)
+        ]
+        if not eligible:
+            # Every replica is suspect: fall back to liveness-only, then
+            # to everyone — a farm must keep dealing to finish the run.
+            eligible = [r for r in range(k) if r not in self.offline]
+        if not eligible:
+            eligible = list(range(k))
+
+        def score(r: int) -> float:
+            rec = self._detector.workers.get(self._hosts[r]) if (
+                r < len(self._hosts)
+            ) else None
+            return rec.score if rec is not None else 1.0
+
+        best = min(
+            eligible,
+            key=lambda r: (
+                (self.outstanding[r] + 1)
+                / (self.speeds[r] * max(score(r), self.TRUST_FLOOR)),
+                r,
+            ),
+        )
+        self.outstanding[best] += 1
+        return best
+
+
 #: name → zero-arg DispatchPolicy factory (see register_dispatch_policy)
 _DISPATCH_POLICIES: dict[str, Any] = {}
 
@@ -170,3 +239,4 @@ def make_dispatch_policy(name: str) -> DispatchPolicy:
 
 register_dispatch_policy("round_robin", RoundRobin)
 register_dispatch_policy("weighted", WeightedBySpeed)
+register_dispatch_policy("reputation_weighted", ReputationWeighted)

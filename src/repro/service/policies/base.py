@@ -85,6 +85,16 @@ class DispatchContext:
         #: controller can offer stage migration
         self.chain: list[tuple[str, DeploymentSpec]] = []
         self.iterations = 0
+        #: the policy instance driving this run (set by the controller)
+        self.policy: Any = None
+        #: result-verification strategy, or None for the trusting default
+        #: (None keeps dispatch and settling byte-for-byte the old path)
+        self.verifier: Any = None
+        #: the policy-carrying group this run distributes
+        self.group: Any = None
+        #: iteration → last dispatched inputs; only kept when verifying
+        #: (tie-break re-executions need the payload after dispatch)
+        self.iteration_inputs: dict[int, list] = {}
 
     # -- controller services ------------------------------------------------
     def deploy(self, specs: list[tuple[str, DeploymentSpec]]):
@@ -104,7 +114,21 @@ class DispatchContext:
         self.peer.send(dst, kind, payload=payload, size_bytes=size_bytes)
 
     def send_exec(self, worker: str, deployment_id: str, iteration: int, inputs) -> None:
-        """Ship one iteration's inputs to a deployment (``group-exec``)."""
+        """Ship one iteration's inputs to a deployment (``group-exec``).
+
+        When a verifier is attached it observes every send (replication
+        fans out from here) and the inputs are retained for tie-break
+        re-executions; the unverified path is untouched.
+        """
+        self.raw_send_exec(worker, deployment_id, iteration, inputs)
+        if self.verifier is not None:
+            self.iteration_inputs[iteration] = inputs
+            self.verifier.on_dispatch(self, worker, deployment_id, iteration, inputs)
+
+    def raw_send_exec(
+        self, worker: str, deployment_id: str, iteration: int, inputs
+    ) -> None:
+        """``send_exec`` without the verification hook (verifier fan-out)."""
         size = _payload_size(inputs) + 64
         tracer = self.sim.tracer
         if tracer.enabled:
@@ -126,6 +150,16 @@ class DispatchContext:
         The batch pays the 64-byte message envelope once instead of once
         per iteration — the ``chunked`` policy's whole reason to exist.
         """
+        self.raw_send_exec_batch(worker, deployment_id, items)
+        if self.verifier is not None:
+            for iteration, inputs in items:
+                self.iteration_inputs[iteration] = inputs
+            self.verifier.on_dispatch_batch(self, worker, deployment_id, items)
+
+    def raw_send_exec_batch(
+        self, worker: str, deployment_id: str, items: list[tuple[int, list]]
+    ) -> None:
+        """``send_exec_batch`` without the verification hook."""
         size = sum(_payload_size(inputs) for _it, inputs in items) + 64
         tracer = self.sim.tracer
         if tracer.enabled:
@@ -139,6 +173,21 @@ class DispatchContext:
             worker, "group-exec-batch", payload=(deployment_id, list(items)),
             size_bytes=size,
         )
+
+    def settle(self, iteration: int, outputs, worker: str) -> bool:
+        """Finish one iteration: policy bookkeeping, then the result event.
+
+        The controller settles unverified runs itself; verification
+        strategies settle through here once a result is trusted.  Safe
+        against races — a second settle of the same iteration is a no-op.
+        """
+        ev = self.result_events.get(iteration)
+        if ev is None or ev.triggered:
+            return False
+        self.policy.on_result(self, iteration, worker=worker)
+        self.iteration_inputs.pop(iteration, None)
+        ev.succeed(outputs)
+        return True
 
     def spawn(self, generator, name: str):
         """Run a policy-owned process (e.g. a recovery loop)."""

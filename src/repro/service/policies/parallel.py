@@ -69,6 +69,11 @@ class ParallelFarmPolicy(DistributionPolicy):
     def start(self, ctx: DispatchContext, iterations: int) -> None:
         self.outstanding: dict[int, Outstanding] = {}
         self.dispatcher: DispatchPolicy = make_dispatch_policy(ctx.dispatch_name)
+        # Reputation-aware dispatchers (duck-typed so plain ones cost
+        # nothing) get the detector and the replica→host mapping.
+        bind = getattr(self.dispatcher, "bind_reputation", None)
+        if bind is not None:
+            bind(ctx.detector, ctx.replica_hosts, ctx.sim)
         self.dispatcher.setup(
             [ctx.profile(h).cpu_flops for h in ctx.replica_hosts]
         )

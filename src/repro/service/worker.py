@@ -100,6 +100,7 @@ class ServiceStats:
     heartbeats_sent: int = 0
     duplicate_execs_dropped: int = 0
     cached_reships: int = 0
+    results_corrupted: int = 0
 
 
 class TrianaService:
@@ -371,8 +372,39 @@ class TrianaService:
             self.stats.iterations += 1
             dep.iterations_done += 1
             outputs = [outputs_map[t][n] for t, n in dep.spec.output_spec]
+            outputs = self._maybe_tamper(dep, iteration, outputs)
             dep.pending.discard(iteration)
             self._ship(dep, iteration, outputs)
+
+    def _maybe_tamper(
+        self, dep: _Deployment, iteration: int, outputs: list[Any]
+    ) -> list[Any]:
+        """Apply any installed compute-fault model to this execution.
+
+        The chaos layer plants :class:`~repro.faults.compute.ComputeFaultModel`
+        instances in ``SimNetwork.compute_faults``; a clean fleet pays
+        one dict lookup.  Tampering is invisible to the worker's own
+        bookkeeping on purpose — a saboteur believes (or pretends) its
+        answer is fine, so the result ships through the normal path.
+        """
+        model = getattr(self.peer.network, "compute_faults", {}).get(
+            self.peer.peer_id
+        )
+        if model is None:
+            return outputs
+        tampered, kind = model.apply(
+            dep.spec.deployment_id, iteration, outputs, self.sim.now
+        )
+        if kind:
+            self.stats.results_corrupted += 1
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "fault.tamper", category="faults", track=self.peer.peer_id,
+                    kind=kind, deployment=dep.spec.deployment_id,
+                    iteration=iteration,
+                )
+        return tampered
 
     def _ship(self, dep: _Deployment, iteration: int, outputs: list[Any]) -> None:
         # Cache before the online check: if the ship is lost to churn, a

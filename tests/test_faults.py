@@ -63,6 +63,26 @@ class TestFaultValidation:
         with pytest.raises(FaultPlanError):
             Fault(kind="slowdown", at=1.0, duration=0.0, targets=("a",), factor=0.5)
 
+    def test_compute_kinds_need_targets(self):
+        for kind in ("saboteur", "flaky_compute", "liar_heartbeat"):
+            with pytest.raises(FaultPlanError):
+                Fault(kind=kind, at=1.0, duration=5.0, fraction=0.5)
+
+    def test_compute_fraction_in_half_open_unit_interval(self):
+        with pytest.raises(FaultPlanError):
+            Fault(kind="saboteur", at=1.0, targets=("a",), fraction=0.0)
+        with pytest.raises(FaultPlanError):
+            Fault(kind="saboteur", at=1.0, targets=("a",), fraction=1.5)
+        # Unlike transport windows, p=1 is legal: a peer that always lies.
+        Fault(kind="saboteur", at=1.0, targets=("a",), fraction=1.0)
+
+    def test_compute_targets_checked_against_known_nodes(self):
+        plan = FaultPlan(
+            [Fault(kind="saboteur", at=1.0, targets=("ghost",), fraction=0.5)]
+        )
+        with pytest.raises(FaultPlanError):
+            plan.validate(["n0", "n1"])
+
 
 class TestFaultPlan:
     def test_iteration_is_time_ordered(self):
@@ -125,8 +145,26 @@ class TestChaosPresets:
         assert len(outages) == 1
         assert outages[0].targets == ("the-portal",)
 
+    def test_hostile_is_all_lies_no_silence(self):
+        plan = chaos("hostile", seed=3, workers=self.WORKERS)
+        kinds = plan.kinds()
+        assert kinds["saboteur"] == 3      # 34% of 10 workers
+        assert kinds["flaky_compute"] == 2  # 17% of 10 workers
+        assert kinds["liar_heartbeat"] == 1
+        assert "crash" not in kinds and "partition" not in kinds
+        # Each compute-faulty peer is drafted for exactly one role.
+        drafted = [f.targets[0] for f in plan if f.kind in
+                   ("saboteur", "flaky_compute", "liar_heartbeat")]
+        assert len(drafted) == len(set(drafted))
+
+    def test_hostile_draft_is_deterministic(self):
+        a = chaos("hostile", seed=9, workers=self.WORKERS)
+        b = chaos("hostile", seed=9, workers=self.WORKERS)
+        assert list(a) == list(b)
+        assert list(a) != list(chaos("hostile", seed=10, workers=self.WORKERS))
+
     def test_levels_are_closed_set(self):
-        assert set(CHAOS_LEVELS) == {"mild", "moderate", "heavy"}
+        assert set(CHAOS_LEVELS) == {"mild", "moderate", "heavy", "hostile"}
         for level in CHAOS_LEVELS:
             plan = chaos(level, seed=0, workers=self.WORKERS)
             assert set(plan.kinds()) <= FAULT_KINDS

@@ -117,7 +117,7 @@ class TestBottlenecks:
         bn = bottlenecks(grid.sim.tracer)
         assert set(bn["seconds"]) == {
             "compute", "module_fetch", "discovery",
-            "redispatch_recovery", "network_transfer",
+            "redispatch_recovery", "verification_overhead", "network_transfer",
         }
 
 

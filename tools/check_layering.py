@@ -13,7 +13,11 @@ stays decoupled from the controller that hosts it:
 * ``repro.service.policies`` must not import
   ``repro.service.controller`` — policies talk to the controller only
   through the :class:`DispatchContext` services handed to them, never
-  by reaching into controller internals.
+  by reaching into controller internals;
+* ``repro.faults`` must not import ``repro.service`` — compute-fault
+  models are planted in the neutral ``SimNetwork.compute_faults``
+  registry and polled duck-typed by the worker, so the integrity hooks
+  flow one way (service reads faults' artefacts, never vice versa).
 
 The check is purely static: every ``import`` / ``from ... import`` in
 every module under ``src/repro`` is resolved (including relative
@@ -48,6 +52,8 @@ RULES: tuple[tuple[str, str, str], ...] = (
      "simkernel is the foundation layer"),
     ("repro.service.policies", "repro.service.controller",
      "policies must use DispatchContext, not controller internals"),
+    ("repro.faults", "repro.service",
+     "faults must not import service (integrity hooks flow one way)"),
 )
 
 
