@@ -1,0 +1,124 @@
+"""E16 (scale) — volunteer-swarm heartbeat gossip at 10^4-10^5 peers.
+
+Paper anchor: the Consumer Grid only pays off at volunteer-swarm scale —
+the CERN peer-group study (Jan et al., PAPERS.md) argues for the
+10^5-10^6-peer regime, and every ROADMAP scale-out item (super-peer
+discovery, federation, factorial run tables) multiplies event volume
+through the simkernel hot path.  This bench drives the event loop in the
+swarm regime the calendar queue is built for: heartbeat cohorts landing
+whole groups of peers on shared timestamps, round after round.
+
+The scenario is intentionally *kernel-shaped* rather than app-shaped:
+every peer sends one heartbeat to its ring successor each round, with
+peers staggered across a fixed number of cohort offsets — so the
+pending-event set stays 10^4-10^5 deep with massive timestamp ties,
+exactly the structure ``simkernel.queues.CalendarQueue`` exploits (see
+``docs/performance.md``).  Jitter is disabled so delivery times quantize
+onto shared timestamps and the run draws no RNG streams.
+
+No tracer is attached (a 10^5-peer trace would dwarf the workload), so
+the bench gate skips critical-path comparison for this scenario; the
+committed baseline documents scale, event counts and the
+events-per-second figure instead.
+"""
+
+from benchlib import timed
+
+from repro.analysis import render_table
+from repro.p2p import SimNetwork
+from repro.p2p.network import Message
+from repro.simkernel import Simulator
+
+ROUNDS = 5
+COHORTS = 16  # distinct heartbeat offsets per round
+PERIOD_S = 30.0
+STAGGER_S = 0.25
+
+
+def run_swarm(n_peers: int, rounds: int = ROUNDS, seed: int = 0) -> dict:
+    """One heartbeat-gossip run; returns counts and modelled makespan."""
+    sim = Simulator(seed=seed)
+    net = SimNetwork(sim, jitter_fraction=0.0)
+    delivered = [0]
+
+    def handler(msg):
+        delivered[0] += 1
+
+    ids = [f"p{i:06d}" for i in range(n_peers)]
+    for pid in ids:
+        net.add_node(pid, handler)
+
+    send = net.send
+
+    def make_cohort(offset: int):
+        def fire() -> None:
+            for i in range(offset, n_peers, COHORTS):
+                send(Message(kind="hb", src=ids[i], dst=ids[(i + 1) % n_peers]))
+
+        return fire
+
+    for r in range(rounds):
+        for g in range(COHORTS):
+            sim.call_at(r * PERIOD_S + g * STAGGER_S, make_cohort(g))
+    sim.run()
+    return {
+        "n_peers": n_peers,
+        "rounds": rounds,
+        "sent": net.stats.sent,
+        "delivered": delivered[0],
+        "events": sim.events_executed,
+        "makespan_s": sim.now,
+    }
+
+
+def run_scale_sweep(peer_counts=(10_000, 100_000), seed=0):
+    import time
+
+    rows = []
+    for n in peer_counts:
+        t0 = time.perf_counter()
+        res = run_swarm(n, seed=seed)
+        wall = time.perf_counter() - t0
+        res["wall_s"] = round(wall, 4)
+        res["events_per_s"] = round(res["events"] / wall)
+        rows.append(res)
+    return rows
+
+
+def test_e16_swarm_scale(benchmark, record_bench):
+    rows, wall = timed(benchmark, run_scale_sweep)
+    by = {r["n_peers"]: r for r in rows}
+    # The headline target: a 100k-peer run completes, delivering every
+    # heartbeat (all peers online, no loss configured).
+    big = by[100_000]
+    assert big["delivered"] == big["sent"] == 100_000 * ROUNDS
+    assert by[10_000]["delivered"] == by[10_000]["sent"] == 10_000 * ROUNDS
+    # Same modelled horizon regardless of scale: timing depends only on
+    # the (shared) link model, not on swarm size.
+    assert big["makespan_s"] == by[10_000]["makespan_s"]
+    record_bench(
+        "e16_swarm",
+        seed=0,
+        wall_s=wall,
+        sim_s=big["makespan_s"],
+        rows=rows,
+        table=render_table(
+            ["peers", "rounds", "sent", "delivered", "events", "makespan (s)", "events/s"],
+            [
+                (
+                    r["n_peers"],
+                    r["rounds"],
+                    r["sent"],
+                    r["delivered"],
+                    r["events"],
+                    r["makespan_s"],
+                    r["events_per_s"],
+                )
+                for r in rows
+            ],
+            title=(
+                "E16  volunteer-swarm heartbeat gossip: "
+                f"{ROUNDS} rounds, {COHORTS} staggered cohorts per round"
+            ),
+        ),
+    )

@@ -167,6 +167,9 @@ class Tracer(_TracerBase):
         #: per-track stack of open span ids (implicit parenting)
         self._open: dict[str, list[SpanRecord]] = {}
         self._sim_instruments = None
+        #: buffered per-tick queue depths, flushed into the histogram lazily
+        self._step_depths: list[int] = []
+        self.metrics.add_flush_hook(self._flush_step_metrics)
 
     # -- spans ---------------------------------------------------------------
     def begin(
@@ -244,15 +247,30 @@ class Tracer(_TracerBase):
     QUEUE_DEPTH_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
 
     def on_step(self, sim) -> None:
-        """Per-event-loop-tick metrics; called by ``Simulator.step``."""
+        """Per-event-loop-tick metrics; called by ``Simulator.step``.
+
+        This is the hottest instrumented call in a traced run (once per
+        executed event), so it only appends the current queue depth to a
+        buffer; :meth:`_flush_step_metrics` — registered as a metrics
+        flush hook, run by every ``metrics.snapshot()`` — materialises
+        the counter increment and histogram observations in batch.
+        """
+        self._step_depths.append(sim._queue._len)
+
+    def _flush_step_metrics(self) -> None:
+        """Drain the buffered queue depths into the real instruments."""
+        depths = self._step_depths
+        if not depths:
+            return
         instruments = self._sim_instruments
         if instruments is None:
             instruments = self._sim_instruments = (
                 self.metrics.counter("sim.events_executed"),
                 self.metrics.histogram("sim.queue_depth", self.QUEUE_DEPTH_BOUNDS),
             )
-        instruments[0].inc()
-        instruments[1].observe(len(sim._queue))
+        instruments[0].inc(len(depths))
+        instruments[1].observe_many(depths)
+        self._step_depths = []
 
     # -- reporting -----------------------------------------------------------
     def summary(self) -> dict[str, Any]:

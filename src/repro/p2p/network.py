@@ -35,7 +35,7 @@ from .errors import NetworkError
 __all__ = ["NodeProfile", "Message", "NetStats", "SimNetwork", "DSL_PROFILE", "LAN_PROFILE"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeProfile:
     """Link and host characteristics of one network node.
 
@@ -64,9 +64,13 @@ LAN_PROFILE = NodeProfile(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """One network message."""
+    """One network message.
+
+    ``slots=True``: a 100k-peer swarm allocates one of these per
+    heartbeat/gossip hop, so the instance dict is worth eliminating.
+    """
 
     kind: str
     src: str
@@ -79,7 +83,7 @@ class Message:
             raise ValueError("size_bytes must be >= 0")
 
 
-@dataclass
+@dataclass(slots=True)
 class NetStats:
     """Aggregate traffic accounting for one network."""
 
@@ -305,31 +309,44 @@ class SimNetwork:
         Messages to offline (or sender-offline) nodes are dropped silently
         apart from stats — consumer links fail without notice.
         """
-        self._require(message.src)
-        self._require(message.dst)
-        self.stats.sent += 1
-        self.stats.bytes_sent += message.size_bytes
-        self.stats.by_kind[message.kind] = self.stats.by_kind.get(message.kind, 0) + 1
+        # Hot path: one call per simulated message.  Endpoint validation
+        # is inlined and locals are hoisted so a send costs a handful of
+        # dict lookups instead of repeated method dispatch.
+        src, dst, size = message.src, message.dst, message.size_bytes
+        profiles = self._profiles
+        if src not in profiles:
+            raise NetworkError(f"unknown node {src!r}")
+        if dst not in profiles:
+            raise NetworkError(f"unknown node {dst!r}")
+        stats = self.stats
+        stats.sent += 1
+        stats.bytes_sent += size
+        by_kind = stats.by_kind
+        by_kind[message.kind] = by_kind.get(message.kind, 0) + 1
         tracer = self.sim.tracer
         traced = tracer.enabled
         if traced:
             tracer.metrics.counter("p2p.messages_sent").inc()
-            tracer.metrics.histogram("p2p.message_bytes").observe(message.size_bytes)
+            tracer.metrics.histogram("p2p.message_bytes").observe(size)
             tracer.instant(
-                "net.send", category="p2p", track=message.src,
-                kind=message.kind, dst=message.dst, size=message.size_bytes,
+                "net.send", category="p2p", track=src,
+                kind=message.kind, dst=dst, size=size,
             )
-        delay = self.transfer_time(message.src, message.dst, message.size_bytes)
+        # Inlined transfer_time (same float expression, profiles already
+        # fetched).
+        p_src, p_dst = profiles[src], profiles[dst]
+        delay = p_src.latency_s + p_dst.latency_s + size / min(p_src.up_bps, p_dst.down_bps)
         if self.jitter_fraction > 0:
             jitter = self.sim.rng("net-jitter").uniform(0, self.jitter_fraction)
             delay *= 1.0 + jitter
-        if not self._online[message.src] or not self._online[message.dst]:
-            self.stats.dropped_offline += 1
+        online = self._online
+        if not online[src] or not online[dst]:
+            stats.dropped_offline += 1
             if traced:
                 self._trace_drop(tracer, message, "offline")
             return delay
-        if self.partitioned(message.src, message.dst):
-            self.stats.dropped_partition += 1
+        if self._cuts and self.partitioned(src, dst):
+            stats.dropped_partition += 1
             if traced:
                 self._trace_drop(tracer, message, "partition")
             return delay
@@ -369,7 +386,7 @@ class SimNetwork:
                 if tracer.enabled:
                     self._trace_drop(tracer, message, "offline")
                 return
-            if self.partitioned(message.src, message.dst):
+            if self._cuts and self.partitioned(message.src, message.dst):
                 self.stats.dropped_partition += 1
                 if tracer.enabled:
                     self._trace_drop(tracer, message, "partition")

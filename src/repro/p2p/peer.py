@@ -24,7 +24,14 @@ __all__ = ["Peer", "PeerGroup"]
 
 
 class Peer:
-    """One Consumer Grid participant."""
+    """One Consumer Grid participant.
+
+    ``__slots__`` keeps 100k-peer swarms cheap; ``_pipe_manager`` is
+    declared here because :class:`~repro.p2p.pipes.PipeManager` annotates
+    peers with a back-reference on attach.
+    """
+
+    __slots__ = ("peer_id", "network", "sim", "cache", "groups", "_handlers", "_pipe_manager")
 
     def __init__(
         self,

@@ -16,13 +16,14 @@ from .errors import (
     SimError,
     SimTimeError,
 )
-from .queues import Resource, Store
+from .queues import CalendarQueue, Resource, Store
 from .rng import RngRegistry, stable_hash
 from .sim import AllOf, AnyOf, Event, Process, Simulator, Timeout
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Event",
     "EventStateError",
     "Interrupt",

@@ -11,7 +11,17 @@ volunteer churn, batch queues) is built on.  It provides:
 
 The design follows the classic SimPy shape but is self-contained (no
 third-party dependency) and strictly deterministic: simultaneous events
-fire in schedule order, ties broken by a monotone sequence number.
+fire in schedule (FIFO) order.  Pending events live in a
+:class:`~repro.simkernel.queues.CalendarQueue` — a bucket-per-timestamp
+calendar whose pop order is bit-identical to the previous global heap's
+``(time, seq)`` order; see ``docs/performance.md`` for the complexity
+model and the determinism contract.
+
+All event classes carry ``__slots__``: simulations at swarm scale
+allocate millions of events, and slotted instances skip the per-object
+``__dict__`` (smaller, faster to create, lighter on the GC).  Subclasses
+must therefore declare their own ``__slots__`` too — adding ad-hoc
+attributes to events is not supported.
 
 Example
 -------
@@ -28,7 +38,6 @@ Example
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Generator, Iterable
 from typing import Any, Callable, Optional
 
@@ -58,6 +67,8 @@ class Event:
     triggers it exactly once, after which its callbacks run at the current
     simulation time.
     """
+
+    __slots__ = ("sim", "callbacks", "_state", "_value", "_exc")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -94,22 +105,27 @@ class Event:
     # -- triggering ---------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._state != _PENDING:
             raise EventStateError(f"{self!r} already triggered")
         self._value = value
         self._state = _TRIGGERED
-        self.sim._schedule(self)
+        # Hot path: triggering at the current time is the single most
+        # frequent kernel operation, so push straight into the queue's
+        # head bucket rather than going through _schedule().
+        sim = self.sim
+        sim._queue.push(sim.now, self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event with an exception to be raised in waiters."""
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
-        if self.triggered:
+        if self._state != _PENDING:
             raise EventStateError(f"{self!r} already triggered")
         self._exc = exc
         self._state = _TRIGGERED
-        self.sim._schedule(self)
+        sim = self.sim
+        sim._queue.push(sim.now, self)
         return self
 
     def _run_callbacks(self) -> None:
@@ -126,25 +142,31 @@ class Event:
 class Timeout(Event):
     """An event that succeeds automatically after ``delay`` sim-time units."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        if delay < 0:
-            raise SimTimeError(f"negative timeout delay {delay!r}")
+        if not delay >= 0:
+            # Catches negative delays *and* NaN (which compares False
+            # both ways and would otherwise corrupt the queue order).
+            raise SimTimeError(f"negative or NaN timeout delay {delay!r}")
         super().__init__(sim)
         self.delay = float(delay)
         self._value = value
         self._state = _TRIGGERED
-        sim._schedule(self, delay=self.delay)
+        sim._queue.push(sim.now + self.delay, self)
 
 
 class _Initialize(Event):
     """Internal event used to start a process on the next step."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim)
         self._value = None
         self._state = _TRIGGERED
         self.callbacks.append(process._resume)
-        sim._schedule(self)
+        sim._queue.push(sim.now, self)
 
 
 class Process(Event):
@@ -156,6 +178,8 @@ class Process(Event):
     itself an event that triggers when the generator returns (value = the
     ``StopIteration`` value) or raises.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None):
         if not isinstance(generator, Generator):
@@ -235,6 +259,8 @@ class Process(Event):
 class _Condition(Event):
     """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
 
+    __slots__ = ("events", "_done")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
@@ -274,12 +300,16 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers when *any* constituent event succeeds (or one fails)."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return bool(self._done)
 
 
 class AllOf(_Condition):
     """Triggers when *all* constituent events have succeeded."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return len(self._done) == len(self.events)
@@ -303,8 +333,7 @@ class Simulator:
 
     def __init__(self, seed: int = 0, tracer=None):
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
-        self._seq = 0
+        self._queue = CalendarQueue()
         self._rngs = RngRegistry(seed)
         self.events_executed = 0
         self.tracer = tracer if tracer is not None else NullTracer()
@@ -354,18 +383,28 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        if delay < 0:
-            raise SimTimeError(f"negative delay {delay!r}")
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
-        self._seq += 1
+        """Enqueue ``event`` to fire ``delay`` sim seconds from now.
+
+        Raises :class:`~repro.simkernel.errors.SimTimeError` (a
+        :class:`~repro.simkernel.errors.SimError`) for negative *or NaN*
+        delays — NaN compares false against everything, so a plain
+        ``delay < 0`` check let it through silently and corrupted the
+        queue order.
+        """
+        if delay == 0.0:
+            self._queue.push(self.now, event)
+        elif delay > 0.0:
+            self._queue.push(self.now + delay, event)
+        else:
+            raise SimTimeError(f"negative or NaN delay {delay!r}")
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek()
 
     def step(self) -> None:
         """Advance the clock to the next event and run its callbacks."""
-        when, _seq, event = heapq.heappop(self._queue)
+        when, event = self._queue.pop()
         self.now = when
         self.events_executed += 1
         tracer = self.tracer
@@ -387,10 +426,16 @@ class Simulator:
             return self._run(until)
 
     def _run(self, until: float | Event | None) -> Any:
+        # The three drain loops below are the kernel's hottest code;
+        # they inline step() with the queue pop and tracer check hoisted
+        # into locals.  Behaviour is identical to calling step() in a
+        # loop (the property tests and BENCH baselines pin this down).
+        queue = self._queue
+        pop = queue.pop
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
-                if not self._queue:
+                if not queue._len:
                     raise ProcessError(
                         "simulation queue drained before the awaited event fired"
                     )
@@ -400,13 +445,30 @@ class Simulator:
             horizon = float(until)
             if horizon < self.now:
                 raise SimTimeError(f"run(until={horizon}) is in the past")
-            while self._queue and self._queue[0][0] <= horizon:
-                self.step()
+            while queue._len and queue.peek() <= horizon:
+                when, event = pop()
+                self.now = when
+                self.events_executed += 1
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.on_step(self)
+                event._run_callbacks()
             self.now = max(self.now, horizon)
             return None
-        while self._queue:
-            self.step()
+        while queue._len:
+            when, event = pop()
+            self.now = when
+            self.events_executed += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.on_step(self)
+            event._run_callbacks()
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Simulator(now={self.now}, pending={len(self._queue)})"
+
+
+# Deliberately at module bottom: queues.py needs Event/Simulator above,
+# and Simulator.__init__ only dereferences CalendarQueue at call time.
+from .queues import CalendarQueue  # noqa: E402

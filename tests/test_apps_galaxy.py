@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+import repro.apps.galaxy as galaxy_mod
 from repro.apps.galaxy import (
     ColumnDensity,
     DataReader,
@@ -113,6 +114,58 @@ class TestUnits:
         frames = generate_snapshots(n_frames=1, n_particles=100, seed=10)
         (img,) = ColumnDensity(resolution=32).process([frames[0]])
         assert img.shape == (32, 32)
+
+    @pytest.mark.parametrize("resolution", [32, 64, 127])
+    def test_scatter_vectorized_bit_identical_to_loop(self, resolution):
+        """The numpy scatter must reproduce the reference loop bit for bit.
+
+        This is the determinism contract for the render pipeline: the
+        BENCH baselines and any golden image comparison assume the
+        vectorized fast path changes *nothing* about the output, so the
+        assertion is array_equal (exact bits), not allclose.
+        """
+        rng = np.random.default_rng(7)
+        n = 500
+        xs = rng.uniform(-3.0, 3.0, n)  # some particles off-grid
+        ys = rng.uniform(-3.0, 3.0, n)
+        masses = rng.uniform(0.1, 2.0, n)
+        smoothing = rng.uniform(0.0, 0.4, n)  # below-cell values clamp
+        extent = 2.5
+        cell = 2 * extent / resolution
+        grid_loop = np.zeros((resolution, resolution))
+        grid_vec = np.zeros((resolution, resolution))
+        galaxy_mod._scatter_loop(
+            xs, ys, masses, smoothing, grid_loop, resolution, cell, extent
+        )
+        galaxy_mod._scatter_vectorized(
+            xs, ys, masses, smoothing, grid_vec, resolution, cell, extent
+        )
+        assert np.array_equal(grid_loop, grid_vec)
+
+    def test_scatter_chunking_is_bit_neutral(self):
+        """A tiny chunk budget (forcing many chunks) changes nothing."""
+        rng = np.random.default_rng(11)
+        n = 300
+        xs = rng.uniform(-2.0, 2.0, n)
+        ys = rng.uniform(-2.0, 2.0, n)
+        masses = rng.uniform(0.1, 2.0, n)
+        smoothing = rng.uniform(0.0, 0.5, n)
+        resolution, extent = 48, 2.5
+        cell = 2 * extent / resolution
+        one_chunk = np.zeros((resolution, resolution))
+        many_chunks = np.zeros((resolution, resolution))
+        galaxy_mod._scatter_vectorized(
+            xs, ys, masses, smoothing, one_chunk, resolution, cell, extent
+        )
+        budget = galaxy_mod._SCATTER_CHUNK_ELEMENTS
+        try:
+            galaxy_mod._SCATTER_CHUNK_ELEMENTS = 500
+            galaxy_mod._scatter_vectorized(
+                xs, ys, masses, smoothing, many_chunks, resolution, cell, extent
+            )
+        finally:
+            galaxy_mod._SCATTER_CHUNK_ELEMENTS = budget
+        assert np.array_equal(one_chunk, many_chunks)
 
     def test_column_density_bad_view_is_unit_error(self):
         frames = generate_snapshots(n_frames=1, n_particles=10, seed=0)

@@ -1,8 +1,137 @@
-"""Tests for Store and Resource wait primitives."""
+"""Tests for CalendarQueue ordering and Store/Resource wait primitives.
+
+The CalendarQueue section is the determinism contract's regression
+suite: randomized (time, seq) workloads — including heavy
+same-timestamp ties — are replayed through both the calendar queue and
+a reference ``heapq`` of ``(time, seq, item)`` tuples (the kernel's
+previous queue), asserting bit-identical pop order.
+"""
+
+import heapq
+import random
 
 import pytest
 
-from repro.simkernel import ProcessError, Resource, Simulator, Store
+from repro.simkernel import CalendarQueue, ProcessError, Resource, Simulator, Store
+
+
+class _ReferenceHeap:
+    """The old kernel queue: one global heap of (time, seq, item)."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+
+    def push(self, time, item):
+        heapq.heappush(self._heap, (time, self._seq, item))
+        self._seq += 1
+
+    def pop(self):
+        when, _seq, item = heapq.heappop(self._heap)
+        return when, item
+
+    def __len__(self):
+        return len(self._heap)
+
+
+def _replay(ops):
+    """Run the same push/pop sequence through both queues, comparing pops."""
+    cal, ref = CalendarQueue(), _ReferenceHeap()
+    for op in ops:
+        if op is None:
+            assert cal.pop() == ref.pop()
+        else:
+            when, item = op
+            cal.push(when, item)
+            ref.push(when, item)
+    assert len(cal) == len(ref)
+    while ref:
+        assert cal.pop() == ref.pop()
+    assert len(cal) == 0 and not cal
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_calendar_matches_heapq_on_randomized_workloads(seed):
+    """Property-style: random interleaved push/pop, tie-heavy times.
+
+    Times are drawn from a deliberately small/lumpy set so most pushes
+    collide with pending timestamps (the same-time FIFO case), and the
+    monotone `now` mirrors the simulator's non-decreasing clock.
+    """
+    rng = random.Random(seed)
+    ops, now, seq = [], 0.0, 0
+    live = CalendarQueue()  # tracks `now` while generating the op sequence
+    for _ in range(rng.randint(50, 600)):
+        if live and rng.random() < 0.45:
+            ops.append(None)  # pop
+            now = live.pop()[0]  # popping advances the monotone clock
+        else:
+            delay = rng.choice([0.0, 0.0, 0.0, 0.25, 0.25, 1.0, rng.random()])
+            ops.append((now + delay, seq))
+            live.push(now + delay, seq)
+            seq += 1
+    _replay(ops)
+
+
+def test_calendar_fifo_among_equal_times():
+    cal, ref = CalendarQueue(), _ReferenceHeap()
+    for i in range(100):
+        cal.push(5.0, i)
+        ref.push(5.0, i)
+    pops = [cal.pop() for _ in range(100)]
+    assert pops == [ref.pop() for _ in range(100)]
+    assert [item for _t, item in pops] == list(range(100))
+
+
+def test_calendar_single_occupant_then_tie():
+    """A bare single-item bucket must still FIFO with later same-time pushes."""
+    cal = CalendarQueue()
+    cal.push(2.0, "first")  # stored bare (single occupant)
+    cal.push(1.0, "earlier")
+    cal.push(2.0, "second")  # forces deque promotion
+    cal.push(2.0, "third")
+    assert cal.pop() == (1.0, "earlier")
+    assert cal.pop() == (2.0, "first")
+    assert cal.pop() == (2.0, "second")
+    assert cal.pop() == (2.0, "third")
+
+
+def test_calendar_none_items_are_legal():
+    cal = CalendarQueue()
+    cal.push(1.0, None)
+    cal.push(1.0, None)
+    assert cal.pop() == (1.0, None)
+    assert cal.pop() == (1.0, None)
+
+
+def test_calendar_peek_and_len():
+    cal = CalendarQueue()
+    assert cal.peek() == float("inf")
+    assert len(cal) == 0 and not cal
+    cal.push(3.0, "a")
+    assert cal.peek() == 3.0
+    cal.push(1.0, "b")
+    assert cal.peek() == 1.0
+    assert len(cal) == 2 and bool(cal)
+    cal.pop()
+    assert cal.peek() == 3.0
+
+
+def test_calendar_pop_empty_raises_indexerror():
+    with pytest.raises(IndexError):
+        CalendarQueue().pop()
+
+
+def test_calendar_same_time_push_after_pop_lands_in_head_bucket():
+    cal = CalendarQueue()
+    cal.push(4.0, "a")
+    assert cal.pop() == (4.0, "a")
+    # Scheduling at the current head time (delay 0 in the kernel) must
+    # stay FIFO behind nothing and ahead of later times.
+    cal.push(4.0, "b")
+    cal.push(5.0, "c")
+    assert cal.pop() == (4.0, "b")
+    assert cal.pop() == (5.0, "c")
 
 
 def test_store_put_then_get():

@@ -30,6 +30,31 @@ def test_negative_timeout_rejected():
         sim.timeout(-1.0)
 
 
+def test_nan_timeout_rejected():
+    # Regression: NaN fails every comparison, so `delay < 0` guards let
+    # it through silently and corrupt queue ordering downstream.  The
+    # kernel guards with `not delay >= 0` to catch NaN too.
+    sim = Simulator()
+    with pytest.raises(SimTimeError):
+        sim.timeout(float("nan"))
+
+
+def test_negative_schedule_delay_rejected():
+    # Regression: _schedule() used to silently accept negative delays,
+    # scheduling events in the past and breaking clock monotonicity.
+    sim = Simulator()
+    with pytest.raises(SimTimeError):
+        sim._schedule(sim.event(), delay=-0.5)
+    with pytest.raises(SimTimeError):
+        sim._schedule(sim.event(), delay=float("nan"))
+    # The rejected schedules left the queue untouched.
+    assert sim.peek() == float("inf")
+    # A legal delay on the same simulator still works afterwards.
+    sim.timeout(1.5)
+    sim.run()
+    assert sim.now == 1.5
+
+
 def test_run_until_time_stops_clock_exactly():
     sim = Simulator()
     sim.timeout(10.0)
