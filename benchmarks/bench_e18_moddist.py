@@ -1,0 +1,74 @@
+"""E18 — module distribution fast path: replicas, chunking, revalidation.
+
+The seed protocol ships every package from the portal repository, so a
+farm deploy serialises all transfers on one consumer-DSL uplink.  E18
+sweeps replica count × package size on that contended regime: the
+controller pre-seeds k workers, which advertise as content-addressed
+replicas and serve the rest of the fleet while the portal answers only
+cheap head/revalidate traffic.  ``fetch_wait_s`` (the summed duration of
+every mobility span) must drop at least 2× at replicas >= 2, with
+results byte-identical to the repository-only run.
+"""
+
+from benchlib import timed
+
+from repro.analysis import e18_moddist, render_table
+
+
+def test_e18_moddist(benchmark, record_bench):
+    result, wall = timed(
+        benchmark,
+        e18_moddist,
+        kwargs={
+            "replica_counts": (0, 1, 2, 4),
+            "package_kbs": (128, 512),
+            "n_workers": 8,
+            "iterations": 8,
+            "trace": True,
+        },
+    )
+    by = {(r["package_kb"], r["replicas"]): r for r in result["rows"]}
+    for pkg_kb in (128, 512):
+        base = by[(pkg_kb, 0)]
+        # Replicas must never change what the application computes.
+        for replicas in (1, 2, 4):
+            assert by[(pkg_kb, replicas)]["result_checksum"] == base["result_checksum"]
+        # The acceptance bar: >= 2x less fleet time waiting on modules.
+        assert by[(pkg_kb, 2)]["fetch_wait_s"] * 2 <= base["fetch_wait_s"]
+        assert by[(pkg_kb, 4)]["fetch_wait_s"] * 2 <= base["fetch_wait_s"]
+        # The portal stops being the byte source...
+        assert by[(pkg_kb, 2)]["repo_bytes"] < base["repo_bytes"]
+        assert by[(pkg_kb, 2)]["peer_fetches"] > 0
+        # ...and pre-seeded workers revalidate instead of re-downloading.
+        assert by[(pkg_kb, 2)]["revalidations"] > 0
+        # The whole deploy gets faster, not just the accounting.
+        assert by[(pkg_kb, 2)]["makespan_s"] < base["makespan_s"]
+    rows = [
+        (
+            r["package_kb"],
+            r["replicas"],
+            round(r["fetch_wait_s"], 2),
+            round(r["makespan_s"], 2),
+            r["repo_packages"],
+            r["peer_fetches"],
+            r["revalidations"],
+            r["repo_chunks"],
+        )
+        for r in result["rows"]
+    ]
+    record_bench(
+        "e18_moddist",
+        seed=0,
+        wall_s=wall,
+        tracer=result["tracer"],
+        rows=result["rows"],
+        table=render_table(
+            ["pkg KB", "replicas", "fetch wait s", "makespan s", "repo pkgs",
+             "peer fetches", "revalidations", "chunks"],
+            rows,
+            title=(
+                f"E18  module distribution: {result['workers']}-worker farm, "
+                "contended DSL uplink, 64 KB chunks"
+            ),
+        ),
+    )

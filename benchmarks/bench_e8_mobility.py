@@ -17,7 +17,12 @@ def test_e8_mobility(benchmark, record_bench):
     result, wall = timed(
         benchmark,
         e8_mobility,
-        kwargs={"n_modules": 60, "n_requests": 300, "capacities": (4, 16, 64)},
+        kwargs={
+            "n_modules": 60,
+            "n_requests": 300,
+            "capacities": (4, 16, 64),
+            "trace": True,
+        },
     )
     rows = [
         (
@@ -46,6 +51,7 @@ def test_e8_mobility(benchmark, record_bench):
         "e8_mobility",
         seed=0,
         wall_s=wall,
+        tracer=result["tracer"],
         rows=result["rows"],
         table=render_table(
             ["policy", "cache slots", "bytes dl", "messages", "evictions",

@@ -75,6 +75,7 @@ def bench_payload(
         "critical_path_segments": None,
         "slack_s": None,
         "bottlenecks": None,
+        "module_fetch_s": None,
         "fairness": None,
         "rows": rows,
         "table": table,
@@ -89,6 +90,7 @@ def bench_payload(
         )
         payload["slack_s"] = analysis["critical_path"]["slack_s"]
         payload["bottlenecks"] = analysis["bottlenecks"]["fractions"]
+        payload["module_fetch_s"] = analysis["bottlenecks"]["module_fetch_s"]
         payload["fairness"] = analysis["utilization"]["fairness"]
         if payload["sim_time_s"] is None:
             payload["sim_time_s"] = analysis["window"]["duration_s"]

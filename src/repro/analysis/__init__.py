@@ -11,6 +11,7 @@ from .experiments import (
     e9_volunteer_throughput,
     e10_policy_ablation,
     e14_split_axis,
+    e18_moddist,
     simulate_volunteer_fleet,
 )
 from .metrics import (
@@ -28,6 +29,7 @@ __all__ = [
     "cpu_years",
     "e10_policy_ablation",
     "e14_split_axis",
+    "e18_moddist",
     "e1_workflow_roundtrip",
     "e2_accumstat_snr",
     "e3_pipeline_throughput",

@@ -41,6 +41,7 @@ __all__ = [
     "e9_volunteer_throughput",
     "e10_policy_ablation",
     "e14_split_axis",
+    "e18_moddist",
 ]
 
 
@@ -436,12 +437,20 @@ def e8_mobility(
     capacities: tuple[int, ...] = (4, 16, 64),
     version_bump_every: int = 50,
     seed: int = 0,
+    trace: bool = False,
 ) -> dict[str, Any]:
-    """On-demand vs sticky caching under a Zipf module workload."""
+    """On-demand vs sticky caching under a Zipf module workload.
+
+    With ``trace=True`` the most cache-pressured configuration
+    (``on_demand`` at the smallest capacity — maximum fetch/eviction
+    churn) runs under a tracer, returned as ``"tracer"`` so the bench
+    harness can emit a bottleneck profile alongside the rows.
+    """
     from ..core.registry import UnitRegistry
     from ..core.units import Unit
     from ..mobility.cache import ModuleCache
     from ..mobility.repository import ModuleRepository
+    from ..observe import Tracer
 
     registry = UnitRegistry()
     for i in range(n_modules):
@@ -449,10 +458,14 @@ def e8_mobility(
         registry.register(cls)
     names = registry.names()
 
+    tracer = None
     rows = []
     for policy in ("on_demand", "sticky"):
         for capacity_slots in capacities:
-            sim = Simulator(seed=seed)
+            traced = trace and policy == "on_demand" and capacity_slots == min(capacities)
+            if traced:
+                tracer = Tracer()
+            sim = Simulator(seed=seed, tracer=tracer if traced else None)
             net = SimNetwork(sim, jitter_fraction=0.0)
             portal = Peer("portal", net, profile=LAN_PROFILE)
             device = Peer("device", net, profile=LAN_PROFILE)
@@ -495,7 +508,10 @@ def e8_mobility(
                     "stale_executions": stale,
                 }
             )
-    return {"modules": n_modules, "rows": rows}
+    out: dict[str, Any] = {"modules": n_modules, "rows": rows}
+    if tracer is not None:
+        out["tracer"] = tracer
+    return out
 
 
 # -- E9: volunteer harvest + admin-cost contrast ----------------------------------------
@@ -664,3 +680,122 @@ def e10_policy_ablation(
             }
         )
     return {"policies": rows, "granularity": granularity, "tracer": tracer}
+
+
+# -- E18: module distribution fast path ---------------------------------------------
+
+
+def e18_moddist(
+    replica_counts: tuple[int, ...] = (0, 1, 2, 4),
+    package_kbs: tuple[int, ...] = (128, 512),
+    n_workers: int = 8,
+    iterations: int = 8,
+    chunk_bytes: int = 65536,
+    seed: int = 0,
+    trace: bool = False,
+) -> dict[str, Any]:
+    """Replica count x package size sweep on a contended repository uplink.
+
+    A farm of two heavyweight units deploys onto ``n_workers`` consumer-
+    DSL peers; every worker must download both packages before acking.
+    With ``module_replicas=0`` all transfers serialise on the portal's
+    32 KB/s uplink (the seed protocol); with replicas the controller
+    pre-seeds k workers, which then serve the rest of the fleet while the
+    portal answers only head/revalidate traffic.  ``fetch_wait_s`` sums
+    every mobility-span duration in the trace — the fleet-wide time spent
+    waiting on module distribution, the metric the BENCH gate watches.
+
+    Every configuration runs traced (the metric needs spans; tracing is
+    passive so rows are unaffected).  ``trace=True`` additionally returns
+    the tracer of the (replicas=2, largest package) run under
+    ``"tracer"``.
+    """
+    from ..core.registry import UnitRegistry
+    from ..core.taskgraph import TaskGraph
+    from ..core.toolbox.display import Grapher
+    from ..core.toolbox.signal import Wave
+    from ..core.units import Unit
+
+    rows = []
+    tracer = None
+    for package_kb in package_kbs:
+        for replicas in replica_counts:
+            registry = UnitRegistry()
+            registry.register(Wave, category="signal")
+            registry.register(Grapher, category="output")
+            code_size = package_kb * 1024
+            for unit_name in ("HeavyA", "HeavyB"):
+
+                def _passthrough(self, inputs):
+                    return [inputs[0]]
+
+                registry.register(
+                    type(
+                        unit_name,
+                        (Unit,),
+                        {"CODE_SIZE": code_size, "process": _passthrough},
+                    ),
+                    category="heavy",
+                )
+
+            g = TaskGraph(f"moddist-{package_kb}k", registry=registry)
+            g.add_task("Src", "Wave", frequency=32.0, samples=256)
+            g.add_task("A", "HeavyA")
+            g.add_task("B", "HeavyB")
+            g.add_task("Sink", "Grapher")
+            for a, b in [("Src", "A"), ("A", "B"), ("B", "Sink")]:
+                g.connect(a, 0, b, 0)
+            g.group_tasks("Farm", ["A", "B"], policy="parallel")
+
+            grid = ConsumerGrid(
+                n_workers=n_workers,
+                seed=seed,
+                registry=registry,
+                contention=True,
+                trace=True,
+                module_replicas=replicas,
+                module_chunk_bytes=chunk_bytes,
+                cache_fetch_timeout=20_000.0,
+            )
+            # Consumer-DSL transfers of multi-hundred-KB packages far
+            # exceed the default interactive deploy budget.
+            grid.controller.deploy_timeout = 20_000.0
+            report = grid.run(g, iterations=iterations)
+            tr = grid.sim.tracer
+            fetch_wait = sum(
+                s.end - s.start
+                for s in tr.spans
+                if s.category == "mobility" and s.end is not None
+            )
+            caches = [s.cache.stats for s in grid.workers.values()]
+            checksum = float(
+                sum(
+                    float(np.sum(np.abs(out.data)))
+                    for outs in report.group_results
+                    for out in outs
+                )
+            )
+            rows.append(
+                {
+                    "replicas": replicas,
+                    "package_kb": package_kb,
+                    "workers": n_workers,
+                    "makespan_s": report.makespan,
+                    "deploy_time_s": report.deploy_time,
+                    "fetch_wait_s": fetch_wait,
+                    "repo_packages": grid.repository.stats.packages_served,
+                    "repo_bytes": grid.repository.stats.bytes_served,
+                    "repo_heads": grid.repository.stats.head_requests,
+                    "repo_chunks": grid.repository.stats.chunks_sent,
+                    "peer_fetches": sum(c.peer_fetches for c in caches),
+                    "peer_serves": sum(c.peer_serves for c in caches),
+                    "revalidations": sum(c.revalidations for c in caches),
+                    "result_checksum": checksum,
+                }
+            )
+            if trace and replicas == 2 and package_kb == max(package_kbs):
+                tracer = tr
+    out: dict[str, Any] = {"rows": rows, "workers": n_workers}
+    if tracer is not None:
+        out["tracer"] = tracer
+    return out

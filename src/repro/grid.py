@@ -69,6 +69,17 @@ class ConsumerGrid:
         :mod:`repro.observe` and docs/observability.md).
     tracer:
         Use a specific (caller-owned) tracer instead; implies ``trace``.
+    module_replicas:
+        Pre-seed each group's modules onto this many workers before
+        deploying and let every worker cache serve as a cooperative
+        replica (discovery-routed fetches, digest revalidation).  0 (the
+        default) keeps the seed's repository-only protocol.
+    module_chunk_bytes:
+        Split package transfers larger than this into pipelined chunks;
+        ``None`` ships each package as one message.
+    cache_fetch_timeout:
+        Per-fetch timeout of the worker module caches — raise it for
+        experiments shipping multi-megabyte packages over consumer DSL.
     """
 
     def __init__(
@@ -101,6 +112,9 @@ class ConsumerGrid:
         trace: bool = False,
         tracer: Optional[Tracer] = None,
         policy_registry=None,
+        module_replicas: int = 0,
+        module_chunk_bytes: Optional[int] = None,
+        cache_fetch_timeout: float = 30.0,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -123,7 +137,9 @@ class ConsumerGrid:
         # discovery) the advertisement index.
         self.portal = Peer("portal", self.network, profile=controller_profile)
         self.discovery.attach(self.portal)
-        self.repository = ModuleRepository(self.portal, self.registry)
+        self.repository = ModuleRepository(
+            self.portal, self.registry, chunk_bytes=module_chunk_bytes
+        )
 
         self.controller_peer = Peer(
             "controller", self.network, profile=controller_profile
@@ -141,6 +157,7 @@ class ConsumerGrid:
             speculation_threshold=speculation_threshold,
             speculation_age=speculation_age,
             policy_registry=policy_registry,
+            preseed_replicas=module_replicas,
         )
 
         if isinstance(self.discovery, CentralIndexDiscovery):
@@ -160,6 +177,10 @@ class ConsumerGrid:
                 sandbox=sandbox_factory() if sandbox_factory else SandboxPolicy(),
                 cache_policy=cache_policy,
                 efficiency=worker_efficiency,
+                module_discovery=self.discovery if module_replicas > 0 else None,
+                cache_revalidate="digest" if module_replicas > 0 else "full",
+                cache_chunk_bytes=module_chunk_bytes,
+                cache_fetch_timeout=cache_fetch_timeout,
             )
             self.discovery.publish(peer, service.advertisement())
             self.workers[peer.peer_id] = service

@@ -12,21 +12,65 @@ controller's, or the paper's "pre-defined portal") and answers
 version of a unit bumps the authoritative version; peers that fetch on
 demand always receive the latest, while peers that reuse a stale cache can
 be *measured* doing so (experiment E8).
+
+Packages are **content-addressed**: every :class:`ModulePackage` carries a
+deterministic digest of its identity (name, version, code size), so
+
+* a ``module-fetch`` carrying the digest of an already-cached copy is
+  answered with a tiny ``not-modified`` reply instead of the full bytes
+  (revalidation stays a message round-trip, not a re-download);
+* a ``module-head`` request returns just the authoritative metadata, so a
+  :class:`~repro.mobility.cache.ModuleCache` can decide *where* to pull
+  the bytes from — any replica peer holding the same digest serves the
+  identical package (see docs/performance.md, "Module distribution");
+* large packages are split into fixed-size ``module-chunk`` messages
+  (``chunk_bytes``) so transfers pipeline over a contended uplink rather
+  than holding it for one monolithic reply.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Type
 
 from ..core.registry import UnitRegistry
 from ..core.units import Unit
 from ..p2p.advertisement import ADV_MODULE, Advertisement
-from ..p2p.network import Message
+from ..p2p.network import Message, chunk_sizes
 from ..p2p.peer import Peer
 from .errors import ModuleNotFoundInRepo
 
-__all__ = ["ModulePackage", "ModuleRepository"]
+__all__ = [
+    "ModulePackage",
+    "ModuleRepository",
+    "RepoStats",
+    "content_digest",
+    "send_package",
+    "NOT_MODIFIED",
+]
+
+#: sentinel shipped in a ``module-package`` reply when the requester's
+#: cached digest matches the authoritative one — no bytes follow.
+NOT_MODIFIED = "not-modified"
+
+#: modelled envelope bytes around a full package reply / a chunk / a
+#: not-modified reply.
+PACKAGE_OVERHEAD = 64
+CHUNK_OVERHEAD = 32
+NOT_MODIFIED_SIZE = 80
+
+
+def content_digest(name: str, version: str, code_size: int) -> str:
+    """Deterministic content address of one package build.
+
+    The simulation ships class objects, not real byte code, so the digest
+    is derived from the package identity — two packages with equal
+    (name, version, code_size) are the *same content* everywhere, which
+    is exactly the property replica resolution needs.
+    """
+    key = f"{name}@{version}:{code_size}".encode()
+    return hashlib.sha256(key).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -37,6 +81,14 @@ class ModulePackage:
     version: str
     code_size: int
     cls: Type[Unit]
+    #: content address; filled from the identity fields when omitted
+    digest: str = ""
+
+    def __post_init__(self):
+        if not self.digest:
+            object.__setattr__(
+                self, "digest", content_digest(self.name, self.version, self.code_size)
+            )
 
     @property
     def qualified_name(self) -> str:
@@ -49,19 +101,67 @@ class RepoStats:
     packages_served: int = 0
     bytes_served: int = 0
     misses: int = 0
+    #: metadata-only ``module-head`` requests answered
+    head_requests: int = 0
+    #: fetches answered with a ``not-modified`` reply (digest matched)
+    revalidations: int = 0
+    #: ``module-chunk`` messages sent (0 unless ``chunk_bytes`` is set)
+    chunks_sent: int = 0
+
+
+def send_package(
+    peer: Peer,
+    dst: str,
+    request_id: int,
+    unit_name: str,
+    pkg: ModulePackage,
+    chunk_bytes: Optional[int] = None,
+) -> int:
+    """Ship ``pkg`` to ``dst``; chunked when larger than ``chunk_bytes``.
+
+    Shared by the repository and replica-serving caches so both speak the
+    same wire protocol.  Returns the number of messages sent.  Package
+    metadata rides only in chunk 0; the receiver completes reassembly
+    when every sequence number has arrived.
+    """
+    if chunk_bytes is None or pkg.code_size <= chunk_bytes:
+        peer.send(
+            dst,
+            "module-package",
+            payload=(request_id, unit_name, pkg),
+            size_bytes=PACKAGE_OVERHEAD + pkg.code_size,
+        )
+        return 1
+    sizes = chunk_sizes(pkg.code_size, chunk_bytes)
+    total = len(sizes)
+    for seq, nbytes in enumerate(sizes):
+        peer.send(
+            dst,
+            "module-chunk",
+            payload=(request_id, unit_name, pkg if seq == 0 else None, seq, total),
+            size_bytes=CHUNK_OVERHEAD + nbytes,
+        )
+    return total
 
 
 class ModuleRepository:
     """Authoritative module store served by one peer."""
 
-    def __init__(self, peer: Peer, registry: UnitRegistry):
+    def __init__(
+        self,
+        peer: Peer,
+        registry: UnitRegistry,
+        chunk_bytes: Optional[int] = None,
+    ):
         self.peer = peer
         self.registry = registry
+        self.chunk_bytes = chunk_bytes
         self.stats = RepoStats()
         # Version overrides let experiments publish "new releases" without
         # defining new classes.
         self._version_overrides: dict[str, str] = {}
         peer.on("module-fetch", self._on_fetch)
+        peer.on("module-head", self._on_head)
 
     # -- authoritative versions -----------------------------------------------
     def current_version(self, unit_name: str) -> str:
@@ -98,24 +198,80 @@ class ModuleRepository:
 
     # -- network protocol ----------------------------------------------------------
     def _on_fetch(self, message: Message) -> None:
-        requester, request_id, unit_name = message.payload
+        requester, request_id, unit_name, cached_digest = message.payload
         self.stats.fetch_requests += 1
         try:
             pkg: Optional[ModulePackage] = self.package(unit_name)
         except ModuleNotFoundInRepo:
             pkg = None
-        size = 64 + (pkg.code_size if pkg else 0)
-        if pkg is not None:
-            self.stats.packages_served += 1
-            self.stats.bytes_served += pkg.code_size
         tracer = self.peer.sim.tracer
+        if pkg is None:
+            if tracer.enabled:
+                tracer.metrics.counter("mobility.repo_fetches").inc()
+                tracer.instant(
+                    "repo.fetch", category="mobility", track=self.peer.peer_id,
+                    unit=unit_name, requester=requester,
+                    served=False, nbytes=PACKAGE_OVERHEAD,
+                )
+            self.peer.send(
+                requester,
+                "module-package",
+                payload=(request_id, unit_name, None),
+                size_bytes=PACKAGE_OVERHEAD,
+            )
+            return
+        if cached_digest is not None and cached_digest == pkg.digest:
+            # The requester already holds this exact content: revalidate
+            # with a tiny reply instead of re-shipping the bytes.
+            self.stats.revalidations += 1
+            if tracer.enabled:
+                tracer.metrics.counter("mobility.repo_fetches").inc()
+                tracer.instant(
+                    "repo.fetch", category="mobility", track=self.peer.peer_id,
+                    unit=unit_name, requester=requester,
+                    served=True, nbytes=NOT_MODIFIED_SIZE, revalidated=True,
+                )
+            self.peer.send(
+                requester,
+                "module-package",
+                payload=(request_id, unit_name, NOT_MODIFIED),
+                size_bytes=NOT_MODIFIED_SIZE,
+            )
+            return
+        self.stats.packages_served += 1
+        self.stats.bytes_served += pkg.code_size
         if tracer.enabled:
             tracer.metrics.counter("mobility.repo_fetches").inc()
             tracer.instant(
                 "repo.fetch", category="mobility", track=self.peer.peer_id,
                 unit=unit_name, requester=requester,
-                served=pkg is not None, nbytes=size,
+                served=True, nbytes=PACKAGE_OVERHEAD + pkg.code_size,
+            )
+        sent = send_package(
+            self.peer, requester, request_id, unit_name, pkg,
+            chunk_bytes=self.chunk_bytes,
+        )
+        if sent > 1:
+            self.stats.chunks_sent += sent
+
+    def _on_head(self, message: Message) -> None:
+        """Answer a metadata probe: (name, version, code_size, digest)."""
+        requester, request_id, unit_name = message.payload
+        self.stats.head_requests += 1
+        try:
+            pkg = self.package(unit_name)
+            meta = (pkg.name, pkg.version, pkg.code_size, pkg.digest)
+        except ModuleNotFoundInRepo:
+            meta = None
+        tracer = self.peer.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "repo.head", category="mobility", track=self.peer.peer_id,
+                unit=unit_name, requester=requester, served=meta is not None,
             )
         self.peer.send(
-            requester, "module-package", payload=(request_id, unit_name, pkg), size_bytes=size
+            requester,
+            "module-head-reply",
+            payload=(request_id, unit_name, meta),
+            size_bytes=96,
         )

@@ -19,9 +19,11 @@ or Chrome/Perfetto JSON, as written by
   accounting over merged leaf-span intervals, Jain's fairness index
   over the worker fleet, and a straggler ranking.
 * :func:`bottlenecks` — wall-clock attribution into
-  compute / module-fetch / discovery / redispatch-recovery /
-  network-transfer buckets by a priority sweep over span intervals.
-  The buckets partition the run window, so they always sum to 100 %.
+  compute / repo-fetch / peer-fetch / revalidate / discovery /
+  redispatch-recovery / network-transfer buckets by a priority sweep
+  over span intervals.  The buckets partition the run window, so they
+  always sum to 100 %; the three module-distribution buckets are also
+  reported summed as ``module_fetch_s`` (the pre-split aggregate).
 * :func:`compare_runs` — aligns two runs by span (name, track) and
   reports total/mean duration deltas plus headline run-window
   (simulated-time), critical-path and bottleneck regressions.
@@ -60,10 +62,16 @@ _CONTAINER_NAMES = frozenset({"sim.run", "controller.run", "controller.deploy"})
 #: bottleneck buckets in sweep priority order (first active wins);
 #: ``network_transfer`` is the residual — in a discrete-event grid, time
 #: with no categorised span open is time waiting on message delivery.
+#: ``repo_fetch`` / ``peer_fetch`` / ``revalidate`` split the old
+#: ``module_fetch`` bucket by where the bytes came from (the authority,
+#: a replica peer, or nowhere — a digest check sufficed).
 _BUCKETS = (
-    "compute", "module_fetch", "discovery", "redispatch_recovery",
-    "verification_overhead",
+    "compute", "repo_fetch", "peer_fetch", "revalidate", "discovery",
+    "redispatch_recovery", "verification_overhead",
 )
+#: the mobility sub-buckets; their sum is the legacy ``module_fetch``
+#: total, reported as ``module_fetch_s`` alongside the partition.
+_MODULE_BUCKETS = ("repo_fetch", "peer_fetch", "revalidate")
 _RESIDUAL_BUCKET = "network_transfer"
 
 
@@ -509,7 +517,15 @@ def _bucket_of(span: VSpan) -> Optional[str]:
     if span.name == "worker.exec":
         return "compute"
     if span.category == "mobility":
-        return "module_fetch"
+        # Split by how the fetch resolved: a digest match (no bytes), a
+        # replica-peer transfer, or the repository itself.  Spans from
+        # pre-split traces carry neither attr and land in repo_fetch —
+        # the seed protocol only ever fetched from the repository.
+        if span.attrs.get("outcome") == "revalidate":
+            return "revalidate"
+        if span.attrs.get("source") == "peer":
+            return "peer_fetch"
+        return "repo_fetch"
     if span.name in ("discovery.query", "pipe.bind"):
         return "discovery"
     if span.name == "controller.redispatch":
@@ -527,13 +543,15 @@ def bottlenecks(source) -> dict[str, Any]:
 
     A priority sweep over span intervals: at every moment the window is
     charged to the highest-priority bucket with an open span — compute,
-    then module-fetch, then discovery, then redispatch-recovery; moments
-    with none open are charged to ``network_transfer`` (in this
+    then the module-distribution buckets (repo-fetch, peer-fetch,
+    revalidate), then discovery, then redispatch-recovery; moments with
+    none open are charged to ``network_transfer`` (in this
     discrete-event model, nothing-open means the run is waiting on
     message delivery).  The buckets partition the window, so
     ``sum(seconds.values()) == window duration`` and the fractions sum
-    to 1.  Chaos-tagged drops and drop reasons ride along as
-    supplementary counters.
+    to 1.  ``module_fetch_s`` reports the three module buckets summed —
+    the pre-split aggregate, kept for trend comparisons.  Chaos-tagged
+    drops and drop reasons ride along as supplementary counters.
     """
     view = load_trace(source)
     window = _run_window(view)
@@ -586,6 +604,7 @@ def bottlenecks(source) -> dict[str, Any]:
         "window": window,
         "seconds": seconds,
         "fractions": fractions,
+        "module_fetch_s": sum(seconds[b] for b in _MODULE_BUCKETS),
         "drops": dict(sorted(drops.items())),
         "chaos_events": chaos_events,
     }
@@ -808,6 +827,10 @@ def doctor(source, max_segments: int = 30) -> str:
     ]
     out.append(_table(["bucket", "seconds", "share"], bn_rows,
                       title="bottleneck breakdown (sums to 100% of wall-clock)"))
+    out.append(
+        f"module distribution total (repo_fetch + peer_fetch + revalidate): "
+        f"{bn['module_fetch_s']:.3f} s"
+    )
     if bn["drops"]:
         out.append(
             "drops: "

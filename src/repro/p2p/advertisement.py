@@ -13,12 +13,50 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-__all__ = ["Advertisement", "AdvCache", "ADV_PEER", "ADV_PIPE", "ADV_SERVICE", "ADV_MODULE"]
+__all__ = [
+    "Advertisement", "AdvCache",
+    "ADV_PEER", "ADV_PIPE", "ADV_SERVICE", "ADV_MODULE",
+    "module_adv_name", "module_replica_advertisement",
+]
 
 ADV_PEER = "peer"
 ADV_PIPE = "pipe"
 ADV_SERVICE = "service"
 ADV_MODULE = "module"
+
+
+def module_adv_name(unit_name: str) -> str:
+    """Discovery name under which replicas of a unit advertise."""
+    return f"module:{unit_name}"
+
+
+def module_replica_advertisement(
+    unit_name: str,
+    host: str,
+    version: str,
+    digest: str,
+    code_size: int,
+    expires_at: float = float("inf"),
+) -> "Advertisement":
+    """An ``ADV_MODULE`` record announcing ``host`` holds one package.
+
+    Re-publishing for a new version replaces the old record (the cache
+    key is (type, name, publisher)), so a replica never advertises two
+    versions of the same unit at once.  Fetchers match on ``digest`` —
+    the content address — never on the version string alone.
+    """
+    return Advertisement.make(
+        ADV_MODULE,
+        module_adv_name(unit_name),
+        host,
+        attrs={
+            "host": host,
+            "version": version,
+            "digest": digest,
+            "code_size": code_size,
+        },
+        expires_at=expires_at,
+    )
 
 _adv_counter = itertools.count()
 

@@ -124,8 +124,15 @@ class DiscoveryService:
         adv_type: Optional[str] = None,
         name: Optional[str] = None,
         predicate: Optional[Callable[[dict[str, Any]], bool]] = None,
+        window: Optional[float] = None,
     ) -> Event:
-        """Launch a query; the returned event yields advertisements."""
+        """Launch a query; the returned event yields advertisements.
+
+        ``window`` overrides the strategy's ``query_window`` for this one
+        query — latency-sensitive callers (module replica resolution)
+        use a short window so a fetch is never stalled behind the full
+        discovery horizon.
+        """
         spec = QuerySpec(adv_type, name, predicate)
         req = next(_request_ids)
         pending = _PendingQuery(event=peer.sim.event())
@@ -148,7 +155,8 @@ class DiscoveryService:
             if entry is not None:
                 self._complete(key, entry)
 
-        peer.sim.call_at(peer.sim.now + self.query_window, close)
+        horizon = self.query_window if window is None else window
+        peer.sim.call_at(peer.sim.now + horizon, close)
         return pending.event
 
     def _complete(self, key: tuple[str, int], entry: _PendingQuery) -> None:

@@ -32,7 +32,25 @@ import networkx as nx
 from ..simkernel import Simulator
 from .errors import NetworkError
 
-__all__ = ["NodeProfile", "Message", "NetStats", "SimNetwork", "DSL_PROFILE", "LAN_PROFILE"]
+__all__ = [
+    "NodeProfile", "Message", "NetStats", "SimNetwork",
+    "DSL_PROFILE", "LAN_PROFILE", "chunk_sizes",
+]
+
+
+def chunk_sizes(total_bytes: int, chunk_bytes: int) -> list[int]:
+    """Split a transfer into fixed-size chunks (last one ragged).
+
+    The framing used by chunked module transfers: under contention each
+    chunk claims the uplink separately, so several transfers interleave
+    chunk-by-chunk instead of serialising whole payloads.
+    """
+    if chunk_bytes <= 0:
+        raise NetworkError("chunk_bytes must be positive")
+    if total_bytes <= 0:
+        return [0]
+    full, rest = divmod(total_bytes, chunk_bytes)
+    return [chunk_bytes] * full + ([rest] if rest else [])
 
 
 @dataclass(frozen=True, slots=True)

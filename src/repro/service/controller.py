@@ -34,7 +34,7 @@ from ..p2p.network import Message
 from ..p2p.peer import Peer
 from ..simkernel import Event, Simulator
 from . import migration
-from .deploy import DeploymentManager
+from .deploy import DeploymentManager, merge_preseed_plans
 from .detector import HeartbeatFailureDetector
 from .errors import SchedulingError
 from .integrity import ReputationLedger, make_verifier
@@ -95,11 +95,15 @@ class TrianaController:
         speculation_threshold: float = 0.9,
         speculation_age: Optional[float] = None,
         policy_registry: Optional[PolicyRegistry] = None,
+        preseed_replicas: int = 0,
     ):
         self.peer = peer
         self.sim: Simulator = peer.sim
         self.discovery = discovery
         self.deployer = DeploymentManager(peer, deploy_timeout)
+        #: pre-place each group's modules on this many workers before
+        #: deploying (0 = off, the seed behaviour); see docs/performance.md
+        self.preseed_replicas = preseed_replicas
         self.recovery_settings = RecoverySettings(
             retry_timeout=retry_timeout,
             retry_interval=retry_interval,
@@ -418,11 +422,28 @@ class TrianaController:
             if tracer.enabled
             else None
         )
-        contexts: list[DispatchContext] = []
-        for group in plan.groups:
-            ctx = self._make_context(group, dispatch, iterations, verification)
+        contexts: list[DispatchContext] = [
+            self._make_context(group, dispatch, iterations, verification)
+            for group in plan.groups
+        ]
+        if self.preseed_replicas > 0:
+            # Warm k workers per group into module replicas *before* the
+            # deploy storm: the bulk transfers then ride peer uplinks
+            # while the repository only answers head/revalidate traffic.
+            assignments = merge_preseed_plans(
+                ctx.policy.preseed_units(group, workers, self.preseed_replicas)
+                for ctx, group in zip(contexts, plan.groups)
+            )
+            confirmed = yield from self.deployer.preseed(
+                assignments, timeout=self.deploy_timeout
+            )
+            if deploy_span is not None:
+                deploy_span.set(
+                    preseed_workers=len(confirmed),
+                    preseed_units=sum(len(u) for u in confirmed.values()),
+                )
+        for ctx, group in zip(contexts, plan.groups):
             yield from ctx.policy.deploy(ctx, group, workers)
-            contexts.append(ctx)
         deploy_time = self.sim.now - deploy_start
         placements = {
             dep: worker for c in contexts for dep, worker in c.placements.items()

@@ -101,6 +101,9 @@ class ServiceStats:
     duplicate_execs_dropped: int = 0
     cached_reships: int = 0
     results_corrupted: int = 0
+    #: ``module-preseed`` requests processed / units warmed by them
+    preseeds: int = 0
+    preseed_units_fetched: int = 0
 
 
 class TrianaService:
@@ -114,12 +117,23 @@ class TrianaService:
         cache_capacity: int = 10_000_000,
         cache_policy: str = "on_demand",
         efficiency: float = 1.0,
+        module_discovery: Optional[Any] = None,
+        cache_revalidate: str = "full",
+        cache_chunk_bytes: Optional[int] = None,
+        cache_fetch_timeout: float = 30.0,
     ):
         self.peer = peer
         self.sim: Simulator = peer.sim
         self.sandbox = sandbox or SandboxPolicy()
         self.cache = ModuleCache(
-            peer, repository_host, capacity_bytes=cache_capacity, policy=cache_policy
+            peer,
+            repository_host,
+            capacity_bytes=cache_capacity,
+            policy=cache_policy,
+            fetch_timeout=cache_fetch_timeout,
+            discovery=module_discovery,
+            revalidate=cache_revalidate,
+            chunk_bytes=cache_chunk_bytes,
         )
         self.efficiency = efficiency
         self.local_registry = UnitRegistry()
@@ -141,6 +155,7 @@ class TrianaService:
         peer.on("triana-resume", self._on_resume)
         peer.on("triana-reparam", self._on_reparam)
         peer.on("triana-hb-renew", self._on_hb_renew)
+        peer.on("module-preseed", self._on_preseed)
 
     # -- advertisement -----------------------------------------------------------
     def advertisement(self) -> Advertisement:
@@ -205,6 +220,38 @@ class TrianaService:
                     )
             yield self.sim.timeout(self._hb_interval)
         self._hb_running = False
+
+    # -- replica preseed -----------------------------------------------------------
+    def _on_preseed(self, message: Message) -> None:
+        controller, units = message.payload
+        self.sim.process(
+            self._preseed_proc(controller, units),
+            name=f"preseed/{self.peer.peer_id}",
+        )
+
+    def _preseed_proc(self, controller: str, units):
+        """Warm the cache with ``units`` and ack what actually landed.
+
+        Failures (repository down, unknown unit) are swallowed — preseed
+        is a best-effort optimisation and the deploy path re-fetches on
+        demand anyway.
+        """
+        self.stats.preseeds += 1
+        ok: list[str] = []
+        for unit_name in units:
+            try:
+                yield self.cache.ensure(unit_name)
+            except MobilityError:
+                continue
+            self.stats.preseed_units_fetched += 1
+            ok.append(unit_name)
+        if self.peer.online:
+            self.peer.send(
+                controller,
+                "preseed-ack",
+                payload=(self.peer.peer_id, tuple(ok)),
+                size_bytes=64 + 16 * len(ok),
+            )
 
     # -- deployment --------------------------------------------------------------
     def _on_deploy(self, message: Message) -> None:

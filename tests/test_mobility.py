@@ -163,6 +163,93 @@ class TestConstrainedDevice:
         assert "Wave" in cache.cached_names()
 
 
+class TestCoalescing:
+    def test_concurrent_ensures_share_one_fetch(self):
+        """N overlapping ensures → one request, one download, one account."""
+        sim, net, repo, cache, _ = build()
+        ev1 = cache.ensure("Wave")
+        ev2 = cache.ensure("Wave")
+        ev3 = cache.ensure("Wave")
+        pkg = sim.run(until=ev1)
+        assert ev2.triggered and ev2.value is pkg
+        assert ev3.triggered and ev3.value is pkg
+        assert cache.stats.requests == 3
+        assert cache.stats.fetches == 1
+        assert cache.stats.coalesced == 2
+        # The upstream saw exactly one request; bytes counted exactly once.
+        assert repo.stats.fetch_requests == 1
+        assert repo.stats.packages_served == 1
+        assert cache.stats.bytes_downloaded == pkg.code_size
+
+    def test_coalesced_network_cost_is_one_transfer(self):
+        sim, net, repo, cache, _ = build()
+        evs = [cache.ensure("Wave") for _ in range(4)]
+        sim.run(until=evs[0])
+        # Reference: a single uncontended fetch on an identical fresh grid.
+        ref_sim, ref_net, _, ref_cache, _ = build()
+        ref_sim.run(until=ref_cache.ensure("Wave"))
+        assert net.stats.sent == ref_net.stats.sent
+
+    def test_coalesced_failure_wakes_every_waiter(self):
+        sim, net, repo, cache, _ = build()
+        ev1 = cache.ensure("Bogus")
+        ev2 = cache.ensure("Bogus")
+        with pytest.raises(ModuleNotFoundInRepo):
+            sim.run(until=ev1)
+        assert ev2.triggered and not ev2.ok
+        assert cache.stats.failures == 1  # the fetch failed once, not twice
+
+    def test_next_ensure_after_completion_is_a_fresh_fetch(self):
+        sim, net, repo, cache, _ = build()
+        sim.run(until=cache.ensure("Wave"))
+        sim.run(until=cache.ensure("Wave"))
+        assert cache.stats.coalesced == 0  # nothing in flight to join
+        assert cache.stats.fetches == 2
+
+
+class TestEvictionEdges:
+    def test_single_oversized_module_is_kept(self):
+        """The LRU never evicts the entry it just admitted."""
+        sim, net, repo, cache, _ = build({"capacity_bytes": 1_000})
+        pkg = sim.run(until=cache.ensure("Wave"))
+        assert cache.cached_names() == ["Wave"]
+        assert cache.used_bytes == pkg.code_size  # over budget, but present
+        assert cache.stats.evictions == 0
+
+    def test_sticky_hit_refreshes_lru_position(self):
+        sim, net, repo, cache, _ = build(
+            {"policy": "sticky", "capacity_bytes": 45_000}
+        )
+        sim.run(until=cache.ensure("Wave"))
+        sim.run(until=cache.ensure("FFT"))
+        sim.run(until=cache.ensure("Wave"))  # sticky hit — must touch LRU
+        sim.run(until=cache.ensure("AccumStat"))
+        assert "Wave" in cache.cached_names()
+        assert "FFT" not in cache.cached_names()
+
+    def test_sticky_refetches_after_eviction(self):
+        """An evicted module is gone: the next sticky ensure pays a fetch."""
+        sim, net, repo, cache, _ = build(
+            {"policy": "sticky", "capacity_bytes": 45_000}
+        )
+        sim.run(until=cache.ensure("Wave"))
+        sim.run(until=cache.ensure("FFT"))
+        sim.run(until=cache.ensure("AccumStat"))  # evicts Wave
+        assert "Wave" not in cache.cached_names()
+        fetches_before = cache.stats.fetches
+        sim.run(until=cache.ensure("Wave"))
+        assert cache.stats.fetches == fetches_before + 1
+
+    def test_on_demand_version_bump_invalidates_despite_capacity(self):
+        sim, net, repo, cache, _ = build({"capacity_bytes": 45_000})
+        sim.run(until=cache.ensure("Wave"))
+        repo.publish_new_version("Wave", "3.0")
+        pkg = sim.run(until=cache.ensure("Wave"))
+        assert pkg.version == "3.0"
+        assert cache.stats.refreshes == 1
+        assert cache.used_bytes <= 45_000
+
+
 class TestSandbox:
     def test_default_denies_filesystem(self):
         class FileReader(Unit):

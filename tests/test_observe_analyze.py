@@ -116,9 +116,22 @@ class TestBottlenecks:
         grid, _ = _traced_run()
         bn = bottlenecks(grid.sim.tracer)
         assert set(bn["seconds"]) == {
-            "compute", "module_fetch", "discovery",
+            "compute", "repo_fetch", "peer_fetch", "revalidate", "discovery",
             "redispatch_recovery", "verification_overhead", "network_transfer",
         }
+
+    def test_module_fetch_aggregate_sums_sub_buckets(self):
+        grid, _ = _traced_run()
+        bn = bottlenecks(grid.sim.tracer)
+        assert bn["module_fetch_s"] == pytest.approx(
+            bn["seconds"]["repo_fetch"]
+            + bn["seconds"]["peer_fetch"]
+            + bn["seconds"]["revalidate"],
+            abs=1e-12,
+        )
+        # The seed protocol fetches from the repository only.
+        assert bn["seconds"]["peer_fetch"] == 0.0
+        assert bn["seconds"]["revalidate"] == 0.0
 
 
 class TestUtilization:

@@ -126,6 +126,7 @@ def record_trend(scenarios: list[str]) -> int:
             "wall_clock_s": round(float(fresh["wall_clock_s"]), 4),
             "critical_path_s": fresh.get("critical_path_s"),
             "sim_time_s": fresh.get("sim_time_s"),
+            "module_fetch_s": fresh.get("module_fetch_s"),
         })
         added += 1
     TREND.write_text("".join(json.dumps(e, sort_keys=True) + "\n" for e in kept))

@@ -17,7 +17,11 @@ stays decoupled from the controller that hosts it:
 * ``repro.faults`` must not import ``repro.service`` — compute-fault
   models are planted in the neutral ``SimNetwork.compute_faults``
   registry and polled duck-typed by the worker, so the integrity hooks
-  flow one way (service reads faults' artefacts, never vice versa).
+  flow one way (service reads faults' artefacts, never vice versa);
+* ``repro.mobility`` must not import ``repro.service`` — the module
+  cache/repository are pure transport; replica *placement* (who gets
+  pre-seeded) is a service-layer policy decision fed to mobility only
+  through protocol messages.
 
 The check is purely static: every ``import`` / ``from ... import`` in
 every module under ``src/repro`` is resolved (including relative
@@ -54,6 +58,8 @@ RULES: tuple[tuple[str, str, str], ...] = (
      "policies must use DispatchContext, not controller internals"),
     ("repro.faults", "repro.service",
      "faults must not import service (integrity hooks flow one way)"),
+    ("repro.mobility", "repro.service",
+     "placement logic stays in the service layer (mobility is transport)"),
 )
 
 
