@@ -1,15 +1,17 @@
 #!/usr/bin/env python
-"""Tracing-overhead gate: E13 with tracing off must not regress.
+"""Tracing/telemetry-overhead gate: E13 with observability off must not regress.
 
-Runs the E13 heterogeneous-farm workload twice — tracing disabled (the
-default ``NullTracer``) and tracing enabled — and enforces two things:
+Runs the E13 heterogeneous-farm workload three ways — observability
+disabled (the default ``NullTracer``), tracing enabled, and tracing plus
+live telemetry (sampler + health monitor + flight recorder) — and
+enforces two things:
 
 1. **Correctness / passivity**: the modelled makespans must be *exactly*
-   equal in both modes and must match the recorded baseline in
-   ``benchmarks/results/BENCH_e13_dispatch.json``.  Tracing is passive
-   by contract (no events scheduled, no RNG drawn), so any drift at all
-   is a bug — this is the deterministic form of the "<5% regression"
-   gate, and it holds at 0%.
+   equal in all three modes and must match the recorded baseline in
+   ``benchmarks/results/BENCH_e13_dispatch.json``.  Tracing and
+   telemetry are passive by contract (no events scheduled, no RNG
+   drawn), so any drift at all is a bug — this is the deterministic form
+   of the "<5% regression" gate, and it holds at 0%.
 2. **Wall-clock sanity** (informational): best-of-N wall times for both
    modes are printed so CI logs show the real overhead ratio.  Wall time
    is not asserted — the workload runs in tens of milliseconds, where
@@ -42,12 +44,18 @@ BASELINE_FILE = (
 )
 
 
-def run_once(dispatch: str, seed: int, traced: bool) -> tuple[float, float]:
-    """One E13 run; returns (modelled makespan, wall seconds)."""
+def run_once(dispatch: str, seed: int, mode: str) -> tuple[float, float]:
+    """One E13 run; returns (modelled makespan, wall seconds).
+
+    ``mode`` is ``off`` (NullTracer), ``traced``, or ``telemetry``
+    (tracing plus the live sampler/health monitor/flight recorder).
+    """
     wall_start = time.perf_counter()
     grid = build_hetero_grid(seed)
-    if traced:
+    if mode in ("traced", "telemetry"):
         grid.sim.install_tracer(Tracer())
+    if mode == "telemetry":
+        grid.enable_telemetry(interval=1.0)
     report = grid.run(heavy_graph(), iterations=24, dispatch=dispatch)
     return report.makespan, time.perf_counter() - wall_start
 
@@ -66,21 +74,28 @@ def read_baseline() -> dict[str, float]:
 def main() -> int:
     baselines = read_baseline()
     failures: list[str] = []
-    print("tracing-overhead gate (E13 heterogeneous farm, 24 frames)")
+    print("observability-overhead gate (E13 heterogeneous farm, 24 frames)")
     for dispatch, seed in (("round_robin", 301), ("weighted", 302)):
-        walls_off, walls_on = [], []
-        makespan_off = makespan_on = None
+        walls_off, walls_on, walls_telemetry = [], [], []
+        makespan_off = makespan_on = makespan_telemetry = None
         for _ in range(ROUNDS):
-            m_off, w_off = run_once(dispatch, seed, traced=False)
-            m_on, w_on = run_once(dispatch, seed, traced=True)
-            makespan_off, makespan_on = m_off, m_on
+            m_off, w_off = run_once(dispatch, seed, mode="off")
+            m_on, w_on = run_once(dispatch, seed, mode="traced")
+            m_live, w_live = run_once(dispatch, seed, mode="telemetry")
+            makespan_off, makespan_on, makespan_telemetry = m_off, m_on, m_live
             walls_off.append(w_off)
             walls_on.append(w_on)
+            walls_telemetry.append(w_live)
 
         if makespan_on != makespan_off:
             failures.append(
                 f"{dispatch}: traced makespan {makespan_on!r} != "
                 f"untraced {makespan_off!r} — tracing perturbed the run"
+            )
+        if makespan_telemetry != makespan_off:
+            failures.append(
+                f"{dispatch}: telemetered makespan {makespan_telemetry!r} != "
+                f"bare {makespan_off!r} — telemetry perturbed the run"
             )
         baseline = baselines.get(dispatch)
         if baseline is not None:
@@ -94,18 +109,21 @@ def main() -> int:
         else:
             drift = float("nan")
         ratio = min(walls_on) / min(walls_off)
+        ratio_live = min(walls_telemetry) / min(walls_off)
         print(
             f"  {dispatch:<12} makespan {makespan_off:10.3f}s "
             f"(drift vs baseline {drift:.2%})  "
             f"wall best-of-{ROUNDS}: off {min(walls_off) * 1e3:6.1f}ms / "
-            f"on {min(walls_on) * 1e3:6.1f}ms  (x{ratio:.2f}, informational)"
+            f"traced {min(walls_on) * 1e3:6.1f}ms (x{ratio:.2f}) / "
+            f"telemetry {min(walls_telemetry) * 1e3:6.1f}ms "
+            f"(x{ratio_live:.2f}, informational)"
         )
 
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("gate passed: modelled makespans identical traced vs untraced "
+    print("gate passed: modelled makespans identical off/traced/telemetered "
           "and within 5% of the recorded baseline (observed drift 0%)")
     return 0
 

@@ -106,12 +106,14 @@ def e2_accumstat_snr(max_iterations: int = 20) -> dict[str, Any]:
 
 def e3_pipeline_throughput(
     stage_counts: tuple[int, ...] = (2, 4, 8), iterations: int = 16, seed: int = 0,
-    trace: bool = False,
+    trace: bool = False, telemetry: bool = False,
 ) -> dict[str, Any]:
     """Makespan/throughput of p2p pipelines of increasing depth.
 
     ``trace=True`` records the deepest pipeline's run and returns its
     tracer under ``"tracer"`` (tracing is passive, results unchanged).
+    ``telemetry=True`` additionally samples live telemetry on every
+    configuration — also passive, rows bit-identical.
     """
     rows = []
     tracer = None
@@ -124,6 +126,7 @@ def e3_pipeline_throughput(
             controller_profile=LAN_PROFILE,
             worker_efficiency=1e-5,
             trace=traced,
+            telemetry=telemetry,
         )
         if traced:
             tracer = grid.sim.tracer
@@ -157,11 +160,14 @@ def e4_galaxy_speedup(
     resolution: int = 32,
     seed: int = 0,
     trace: bool = False,
+    telemetry: bool = False,
 ) -> dict[str, Any]:
     """Render-farm makespan vs worker count ("a fraction of the time").
 
     ``trace=True`` records the widest configuration's run and returns
     its tracer under ``"tracer"`` (tracing is passive, rows unchanged).
+    ``telemetry=True`` additionally samples live telemetry on every
+    configuration — also passive, rows bit-identical.
     """
     from ..apps.galaxy import build_galaxy_graph, generate_snapshots
 
@@ -179,6 +185,7 @@ def e4_galaxy_speedup(
             controller_profile=LAN_PROFILE,
             worker_efficiency=1e-5,
             trace=traced,
+            telemetry=telemetry,
         )
         if traced:
             tracer = grid.sim.tracer
@@ -626,13 +633,16 @@ def e14_split_axis(
 
 
 def e10_policy_ablation(
-    iterations: int = 16, seed: int = 0, trace: bool = False
+    iterations: int = 16, seed: int = 0, trace: bool = False,
+    telemetry: bool = False,
 ) -> dict[str, Any]:
     """Same workload under parallel / p2p / chunked policy, plus granularity.
 
     ``trace=True`` records the chunked-policy run and returns its tracer
     under ``"tracer"`` (tracing is passive, rows unchanged) so the bench
-    gate watches the batching critical path.
+    gate watches the batching critical path.  ``telemetry=True``
+    additionally samples live telemetry on every configuration — also
+    passive, rows bit-identical.
     """
     rows = []
     tracer = None
@@ -647,6 +657,7 @@ def e10_policy_ablation(
             controller_profile=LAN_PROFILE,
             worker_efficiency=1e-5,
             trace=traced,
+            telemetry=telemetry,
         )
         if traced:
             tracer = grid.sim.tracer
@@ -670,6 +681,7 @@ def e10_policy_ablation(
             worker_profile=LAN_PROFILE,
             controller_profile=LAN_PROFILE,
             worker_efficiency=1e-5,
+            telemetry=telemetry,
         )
         report = grid.run(g, iterations=iterations)
         granularity.append(

@@ -162,8 +162,10 @@ def _cmd_run(args) -> int:
     graph = load_graph_text(text, args.from_format)
     probes = tuple(args.probe or ())
     if args.workers == 0:
-        if args.trace_out or args.metrics_out:
-            flag = "--trace-out" if args.trace_out else "--metrics-out"
+        if args.trace_out or args.metrics_out or args.telemetry_out:
+            flag = ("--trace-out" if args.trace_out
+                    else "--metrics-out" if args.metrics_out
+                    else "--telemetry-out")
             print(f"error: {flag} needs a simulated grid (--workers > 0)",
                   file=sys.stderr)
             return 1
@@ -190,11 +192,13 @@ def _cmd_run(args) -> int:
         n_workers=args.workers,
         seed=args.seed,
         discovery=args.discovery,
+        telemetry=bool(args.telemetry_out),
     )
     report = grid.run(
         graph, iterations=args.iterations, probes=probes, dispatch=args.dispatch,
         verification=args.verification,
         trace_out=args.trace_out, metrics_out=args.metrics_out,
+        telemetry_out=args.telemetry_out,
     )
     if args.trace_out:
         summary = report.tracing
@@ -202,6 +206,10 @@ def _cmd_run(args) -> int:
               f"({summary.get('spans', 0)} spans, {summary.get('events', 0)} events)")
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
+    if args.telemetry_out:
+        print(f"telemetry written to {args.telemetry_out} "
+              f"({report.health.get('sampler', {}).get('samples', 0)} samples, "
+              f"{report.health.get('incidents', 0)} incident(s))")
     rows = [
         ("mode", f"simulated grid ({args.workers} workers, "
                  f"{args.discovery} discovery)"),
@@ -222,6 +230,34 @@ def _cmd_run(args) -> int:
     print(render_kv(rows, title=f"ran {graph.name}"))
     for name, values in report.probe_values.items():
         print(f"probe {name}: {len(values)} values")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from .observe import render_top
+
+    text = open(args.target).read()
+    if text.lstrip().startswith("<"):
+        # A graph file: run it on a telemetered grid, then render the
+        # dashboard over the live trace.
+        from .grid import ConsumerGrid
+
+        graph = load_graph_text(text, "auto")
+        grid = ConsumerGrid(
+            n_workers=args.workers,
+            seed=args.seed,
+            discovery=args.discovery,
+            telemetry=True,
+            telemetry_interval=args.interval,
+        )
+        report = grid.run(graph, iterations=args.iterations,
+                          dispatch=args.dispatch)
+        print(render_top(grid.sim.tracer), end="")
+        print(f"makespan {report.makespan:.3f} sim s, "
+              f"{report.health.get('incidents', 0)} incident(s)")
+        return 0
+    # Otherwise: a trace file written by --trace-out.
+    print(render_top(args.target), end="")
     return 0
 
 
@@ -311,9 +347,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the run's metrics registry snapshot "
                             "as JSON; grid mode only")
+    p_run.add_argument("--telemetry-out", default=None, metavar="PATH",
+                       help="enable live telemetry and write the sampled "
+                            "timeseries as JSONL; grid mode only")
     p_run.add_argument("--from-format", default="auto",
                        choices=("auto", *FORMATS))
     p_run.set_defaults(fn=_cmd_run)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live-grid dashboard: per-peer utilization bars, incident "
+             "timeline, worst offenders",
+    )
+    p_top.add_argument("target",
+                       help="a trace file from --trace-out, or a graph file "
+                            "to run on a telemetered grid")
+    p_top.add_argument("-n", "--iterations", type=int, default=1,
+                       help="iterations when target is a graph file")
+    p_top.add_argument("--workers", type=int, default=4,
+                       help="fleet size when target is a graph file")
+    p_top.add_argument("--seed", type=int, default=0)
+    p_top.add_argument("--discovery", default="central",
+                       choices=("central", "flooding", "rendezvous"))
+    p_top.add_argument("--dispatch", default="round_robin",
+                       choices=dispatch_policy_names())
+    p_top.add_argument("--interval", type=float, default=5.0,
+                       help="telemetry sample interval in sim seconds")
+    p_top.set_defaults(fn=_cmd_top)
 
     p_analyze = sub.add_parser(
         "analyze",

@@ -210,6 +210,14 @@ class FaultInjector:
         onsets |= COMPUTE_FAULT_KINDS
         return sum(1 for entry in self.log if entry["action"] in onsets)
 
+    def telemetry_sample(self) -> dict[str, Any]:
+        """Injection progress for the live telemetry sampler."""
+        return {
+            "planned": len(self.plan),
+            "injected": self.faults_injected,
+            "log_entries": len(self.log),
+        }
+
     def summary(self) -> dict[str, Any]:
         out: dict[str, Any] = {
             "plan": self.plan.name,

@@ -22,7 +22,15 @@ from .core.registry import UnitRegistry, global_registry
 from .core.taskgraph import TaskGraph
 from .mobility.repository import ModuleRepository
 from .mobility.sandbox import SandboxPolicy
-from .observe import Tracer, write_metrics, write_trace
+from .observe import (
+    FlightRecorder,
+    HealthMonitor,
+    TelemetrySampler,
+    Tracer,
+    default_detectors,
+    write_metrics,
+    write_trace,
+)
 from .p2p.discovery import (
     CentralIndexDiscovery,
     DiscoveryService,
@@ -69,6 +77,15 @@ class ConsumerGrid:
         :mod:`repro.observe` and docs/observability.md).
     tracer:
         Use a specific (caller-owned) tracer instead; implies ``trace``.
+    telemetry:
+        Enable the live telemetry sampler and health monitor (implies
+        ``trace``): periodic grid snapshots every ``telemetry_interval``
+        sim seconds, online anomaly detection, a ``health`` section on
+        the run report, and a flight recorder for post-mortems.  Like
+        tracing it is strictly passive — results are bit-identical.
+    telemetry_interval / health_config:
+        Sampler tick spacing and keyword overrides for
+        :func:`~repro.observe.health.default_detectors`.
     module_replicas:
         Pre-seed each group's modules onto this many workers before
         deploying and let every worker cache serve as a cooperative
@@ -111,6 +128,9 @@ class ConsumerGrid:
         fault_plan=None,
         trace: bool = False,
         tracer: Optional[Tracer] = None,
+        telemetry: bool = False,
+        telemetry_interval: float = 5.0,
+        health_config: Optional[dict] = None,
         policy_registry=None,
         module_replicas: int = 0,
         module_chunk_bytes: Optional[int] = None,
@@ -118,7 +138,7 @@ class ConsumerGrid:
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
-        if tracer is None and trace:
+        if tracer is None and (trace or telemetry):
             tracer = Tracer()
         self.sim = Simulator(seed=seed, tracer=tracer)
         self.network = SimNetwork(
@@ -205,6 +225,65 @@ class ConsumerGrid:
                 self.sim, self.network, fault_plan, peers=peers
             ).schedule()
 
+        # Live telemetry: installed last so its sources can read every
+        # subsystem (including the fault injector) already in place.
+        self.telemetry: Optional[TelemetrySampler] = None
+        self.health: Optional[HealthMonitor] = None
+        self.flight_recorder: Optional[FlightRecorder] = None
+        if telemetry:
+            self.enable_telemetry(
+                interval=telemetry_interval, health_config=health_config
+            )
+
+    def enable_telemetry(
+        self,
+        interval: float = 5.0,
+        health_config: Optional[dict] = None,
+    ) -> TelemetrySampler:
+        """Install the telemetry sampler, health monitor and flight recorder.
+
+        Idempotent; callable post-construction too (e.g. from tooling
+        that builds a grid first).  Enables tracing if it was off —
+        liveness is snapshotted so utilization accounting stays right.
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        if not self.sim.tracer.enabled:
+            self.sim.install_tracer(Tracer())
+            self.network.trace_liveness_snapshot()
+        sampler = TelemetrySampler(interval=interval)
+        self.sim.install_sampler(sampler)
+        recorder = FlightRecorder()
+        recorder.attach(self.sim.tracer)
+        monitor = HealthMonitor(
+            detectors=default_detectors(**(health_config or {}))
+        )
+        monitor.attach(self.sim.tracer)
+        sampler.attach_monitor(monitor)
+
+        sampler.add_source("net", self.network.telemetry_sample)
+        workers = self.workers
+        def _workers_sample():
+            return {
+                wid: svc.telemetry_sample()
+                for wid, svc in sorted(workers.items())
+            }
+        sampler.add_source("workers", _workers_sample)
+        controller = self.controller
+        sampler.add_source(
+            "detector",
+            lambda: controller.detector.telemetry_sample(self.sim.now),
+        )
+        sampler.add_source(
+            "reputation", lambda: controller.reputation.summary()
+        )
+        if self.fault_injector is not None:
+            sampler.add_source("faults", self.fault_injector.telemetry_sample)
+        self.telemetry = sampler
+        self.health = monitor
+        self.flight_recorder = recorder
+        return sampler
+
     def add_cluster_worker(
         self,
         name: str,
@@ -262,6 +341,7 @@ class ConsumerGrid:
         verification: str = "none",
         trace_out: Optional[str] = None,
         metrics_out: Optional[str] = None,
+        telemetry_out: Optional[str] = None,
     ) -> RunReport:
         """Deploy and execute a task graph; blocks until completion.
 
@@ -282,7 +362,9 @@ class ConsumerGrid:
         ``.txt``/``.log`` → text timeline); ``metrics_out`` writes the
         run's :class:`~repro.observe.metrics.MetricsRegistry` snapshot
         as JSON.  Either switches tracing on for the run if it wasn't
-        already.
+        already.  ``telemetry_out`` writes the sampler's buffered rows
+        as JSONL (requires ``telemetry=True`` at construction, or a
+        prior :meth:`enable_telemetry` call).
         """
         if (trace_out is not None or metrics_out is not None) and not self.sim.tracer.enabled:
             # Late opt-in: swap the recording tracer in before discovery
@@ -309,8 +391,20 @@ class ConsumerGrid:
             report = self.sim.run(until=done)
         if self.fault_injector is not None:
             report.recovery["faults"] = self.fault_injector.summary()
+        if self.health is not None:
+            report.health = {
+                "sampler": self.telemetry.summary(),
+                **self.health.summary(),
+            }
         if trace_out is not None:
             write_trace(self.sim.tracer, trace_out)
         if metrics_out is not None:
             write_metrics(self.sim.tracer, metrics_out)
+        if telemetry_out is not None:
+            if self.telemetry is None:
+                raise ValueError(
+                    "telemetry_out requires ConsumerGrid(telemetry=True) "
+                    "or a prior enable_telemetry() call"
+                )
+            self.telemetry.export_jsonl(telemetry_out)
         return report

@@ -164,6 +164,19 @@ class ModuleCache:
         pkg = self._cached.get(unit_name)
         return pkg.version if pkg else None
 
+    def telemetry_sample(self) -> dict[str, int]:
+        """Cumulative counters for the live telemetry sampler."""
+        stats = self.stats
+        return {
+            "requests": stats.requests,
+            "hits": stats.hits,
+            "fetches": stats.fetches,
+            "peer_fetches": stats.peer_fetches,
+            "revalidations": stats.revalidations,
+            "bytes_downloaded": stats.bytes_downloaded,
+            "cached_units": len(self._cached),
+        }
+
     # -- the on-demand protocol ---------------------------------------------------
     def ensure(self, unit_name: str) -> Event:
         """Make ``unit_name`` locally executable.

@@ -16,7 +16,14 @@ the minimal progress stream into a first-class observability layer:
 * :mod:`repro.observe.analyze` — trace analytics over a live tracer or
   an exported trace: critical-path extraction, per-peer utilization,
   bottleneck attribution, run diffing, and the ``doctor()`` report
-  behind ``repro analyze``.
+  behind ``repro analyze``;
+* :mod:`repro.observe.telemetry` — *live* telemetry: the sim-clock
+  :class:`TelemetrySampler` ring buffer and the per-peer
+  :class:`FlightRecorder` post-mortem buffers;
+* :mod:`repro.observe.health` — online anomaly detectors over sampler
+  rows emitting severity-ranked :class:`Incident` records, scored
+  against fault-injection ground truth, plus the ``repro top``
+  dashboard renderer.
 
 Tracing is strictly *passive*: it never schedules simulation events and
 never draws randomness, so a traced run is bit-identical to an untraced
@@ -44,6 +51,14 @@ from .export import (
     write_metrics,
     write_trace,
 )
+from .health import (
+    HealthMonitor,
+    Incident,
+    default_detectors,
+    health_incidents,
+    render_top,
+    score_against_faults,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -52,17 +67,22 @@ from .metrics import (
     NullMetricsRegistry,
     geometric_bounds,
 )
+from .telemetry import FlightRecorder, TelemetrySampler
 from .tracer import NullTracer, SpanHandle, SpanRecord, TraceEvent, Tracer
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
+    "Incident",
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NullTracer",
     "SpanHandle",
     "SpanRecord",
+    "TelemetrySampler",
     "TraceEvent",
     "TraceView",
     "Tracer",
@@ -71,11 +91,15 @@ __all__ = [
     "chrome_trace",
     "compare_runs",
     "critical_path",
+    "default_detectors",
     "doctor",
     "geometric_bounds",
+    "health_incidents",
     "jsonl_lines",
     "load_trace",
     "render_diff",
+    "render_top",
+    "score_against_faults",
     "text_timeline",
     "trace_summary",
     "utilization",

@@ -613,14 +613,41 @@ def bottlenecks(source) -> dict[str, Any]:
 # -- the bundle --------------------------------------------------------------------
 
 
+def _incident_overlay(view: TraceView) -> list[dict[str, Any]]:
+    """``health.incident`` instants recorded by the live health monitor.
+
+    (Extraction only — the detectors themselves live in
+    :mod:`repro.observe.health`, which layers *above* this module.)
+    """
+    out = []
+    for event in view.events:
+        if event.name != "health.incident":
+            continue
+        attrs = dict(event.attrs)
+        out.append({
+            "time": event.time,
+            "track": event.track,
+            "kind": attrs.get("kind", "anomaly"),
+            "severity": attrs.get("severity", "warning"),
+            "message": attrs.get("message", ""),
+        })
+    out.sort(key=lambda i: (i["time"], i["kind"], i["track"]))
+    return out
+
+
 def analyze(source) -> dict[str, Any]:
-    """Full analysis: window, critical path, utilization, bottlenecks."""
+    """Full analysis: window, critical path, utilization, bottlenecks.
+
+    Traces from telemetered runs also carry the live health monitor's
+    incidents under ``incidents`` (empty for untelemetered traces).
+    """
     view = load_trace(source)
     return {
         "window": _run_window(view),
         "critical_path": critical_path(view),
         "utilization": utilization(view),
         "bottlenecks": bottlenecks(view),
+        "incidents": _incident_overlay(view),
         "counts": {"spans": len(view.spans), "events": len(view.events)},
     }
 
@@ -831,6 +858,19 @@ def doctor(source, max_segments: int = 30) -> str:
         f"module distribution total (repo_fetch + peer_fetch + revalidate): "
         f"{bn['module_fetch_s']:.3f} s"
     )
+    incidents = result["incidents"]
+    if incidents:
+        out.append("")
+        inc_rows = [
+            (f"{inc['time']:.3f}", inc["severity"], inc["kind"], inc["track"],
+             inc["message"])
+            for inc in incidents[:max_segments]
+        ]
+        out.append(_table(
+            ["t (s)", "severity", "kind", "peer", "detail"],
+            inc_rows,
+            title=f"health incidents ({len(incidents)} — live monitor overlay)",
+        ))
     if bn["drops"]:
         out.append(
             "drops: "

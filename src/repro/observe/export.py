@@ -261,6 +261,10 @@ def write_trace(tracer, path: str, fmt: str = "auto") -> str:
     return fmt
 
 
+#: extensions accepted by ``write_metrics`` (single-document JSON only)
+_METRICS_EXTENSIONS = (".json",)
+
+
 def write_metrics(tracer, path: str) -> dict[str, Any]:
     """Dump the tracer's :class:`MetricsRegistry` snapshot as JSON.
 
@@ -268,7 +272,18 @@ def write_metrics(tracer, path: str) -> dict[str, Any]:
     timelines: one JSON document keyed by metric name, each value a
     self-describing instrument snapshot.  Returns the snapshot written.
     Byte-deterministic for a given run (sorted keys, fixed bucketing).
+
+    Only ``.json`` output is supported; an unrecognised extension raises
+    :class:`ValueError` naming the supported formats, matching the
+    :func:`write_trace` contract.
     """
+    lowered = path.lower()
+    if not any(lowered.endswith(ext) for ext in _METRICS_EXTENSIONS):
+        known = "/".join(sorted(_METRICS_EXTENSIONS))
+        raise ValueError(
+            f"cannot infer metrics format from {path!r}: supported "
+            f"extensions are {known}"
+        )
     snapshot = tracer.metrics.snapshot()
     with open(path, "w") as fh:
         fh.write(json.dumps(snapshot, sort_keys=True, default=_json_default))

@@ -127,10 +127,32 @@ class _TracerBase:
         self._clock: Callable[[], float] = lambda: 0.0
         #: (category-filter-or-None, callback) pairs, dispatch order = subscribe order
         self._subs: list[tuple[Optional[str], Callable[[TraceEvent], None]]] = []
+        #: optional live-telemetry hooks (see repro.observe.telemetry)
+        self._sampler = None
+        self._recorder = None
 
     def attach_clock(self, clock: Callable[[], float]) -> None:
         """Bind the time source (the simulator does this on construction)."""
         self._clock = clock
+
+    def attach_sampler(self, sampler) -> None:
+        """Wire a :class:`~repro.observe.telemetry.TelemetrySampler` in.
+
+        The sampler is polled from :meth:`Tracer.on_step` (one float
+        comparison per executed event) and takes a snapshot row whenever
+        the clock crosses a tick boundary.  Only a recording
+        :class:`Tracer` drives it — install one via
+        ``Simulator.install_sampler``.
+        """
+        self._sampler = sampler
+
+    def attach_recorder(self, recorder) -> None:
+        """Wire a :class:`~repro.observe.telemetry.FlightRecorder` in.
+
+        The recorder is notified of every span *close* (instants reach
+        it through the ordinary subscription stream).
+        """
+        self._recorder = recorder
 
     def now(self) -> float:
         return self._clock()
@@ -219,6 +241,9 @@ class Tracer(_TracerBase):
             # Usually LIFO; remove-by-identity tolerates overlapping
             # async spans on one track (e.g. concurrent module fetches).
             stack.remove(record)
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.on_span(record)
 
     # -- point events --------------------------------------------------------
     def instant(
@@ -253,9 +278,14 @@ class Tracer(_TracerBase):
         executed event), so it only appends the current queue depth to a
         buffer; :meth:`_flush_step_metrics` — registered as a metrics
         flush hook, run by every ``metrics.snapshot()`` — materialises
-        the counter increment and histogram observations in batch.
+        the counter increment and histogram observations in batch.  An
+        attached telemetry sampler costs one comparison here and only
+        does real work when the clock crosses a tick boundary.
         """
         self._step_depths.append(sim._queue._len)
+        sampler = self._sampler
+        if sampler is not None and sim.now >= sampler.next_tick:
+            sampler.on_step(sim)
 
     def _flush_step_metrics(self) -> None:
         """Drain the buffered queue depths into the real instruments."""

@@ -114,6 +114,10 @@ class NetStats:
     duplicated: int = 0
     reordered: int = 0
     bytes_sent: int = 0
+    #: frames scheduled for delivery but not yet handed to a receiver
+    #: (includes frames that will be dropped in flight)
+    in_flight: int = 0
+    in_flight_bytes: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
 
 
@@ -236,6 +240,23 @@ class SimNetwork:
         for node_id in sorted(self._online):
             if not self._online[node_id]:
                 tracer.instant("peer.offline", category="p2p", track=node_id)
+
+    def telemetry_sample(self) -> dict[str, int]:
+        """Traffic counters for the live telemetry sampler."""
+        stats = self.stats
+        return {
+            "sent": stats.sent,
+            "delivered": stats.delivered,
+            "bytes_sent": stats.bytes_sent,
+            "in_flight": stats.in_flight,
+            "in_flight_bytes": stats.in_flight_bytes,
+            "dropped": (
+                stats.dropped_offline
+                + stats.dropped_loss
+                + stats.dropped_partition
+            ),
+            "offline": sum(1 for up in self._online.values() if not up),
+        }
 
     # -- straggler injection ---------------------------------------------------
     def set_speed_factor(self, node_id: str, factor: float) -> None:
@@ -399,6 +420,8 @@ class SimNetwork:
             # The destination may have gone offline (or been partitioned
             # away) while in flight.
             tracer = self.sim.tracer
+            self.stats.in_flight -= 1
+            self.stats.in_flight_bytes -= message.size_bytes
             if not self._online.get(message.dst, False):
                 self.stats.dropped_offline += 1
                 if tracer.enabled:
@@ -430,6 +453,11 @@ class SimNetwork:
                     "net.duplicate", category="p2p", track=message.src,
                     kind=message.kind, dst=message.dst, chaos=True,
                 )
+        # In-flight accounting (read by the telemetry sampler): one copy
+        # per scheduled delivery; deliver() balances each on arrival.
+        copies = 2 if duplicated else 1
+        stats.in_flight += copies
+        stats.in_flight_bytes += size * copies
         if self.contention:
             self.sim.process(
                 self._contended_delivery(message, deliver),

@@ -76,6 +76,8 @@ class RunReport:
     tracing: dict[str, Any] = field(default_factory=dict)
     #: result-verification summary (empty when verification="none")
     integrity: dict[str, Any] = field(default_factory=dict)
+    #: live-telemetry health summary (empty unless telemetry was enabled)
+    health: dict[str, Any] = field(default_factory=dict)
 
 
 class TrianaController:

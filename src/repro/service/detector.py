@@ -189,3 +189,28 @@ class HeartbeatFailureDetector:
                 if r.blacklisted
             },
         }
+
+    def telemetry_sample(self, now: float) -> dict[str, Any]:
+        """Light snapshot for the live telemetry sampler.
+
+        Unlike :meth:`snapshot`, ``suspected`` lists the workers
+        *currently* suspected — health detectors key on the transition
+        into suspicion, not on lifetime suspicion counts.
+        """
+        return {
+            "suspected": sorted(
+                w for w, r in self.workers.items() if r.suspected
+            ),
+            "quarantined": sorted(
+                w
+                for w, r in self.workers.items()
+                if now < r.quarantined_until and not r.blacklisted
+            ),
+            "blacklisted": sorted(
+                w for w, r in self.workers.items() if r.blacklisted
+            ),
+            "health": {
+                w: round(r.score, 3) for w, r in sorted(self.workers.items())
+            },
+            "heartbeats": sum(r.heartbeats for r in self.workers.values()),
+        }

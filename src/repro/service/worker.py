@@ -157,6 +157,27 @@ class TrianaService:
         peer.on("triana-hb-renew", self._on_hb_renew)
         peer.on("module-preseed", self._on_preseed)
 
+    # -- telemetry ---------------------------------------------------------------
+    def telemetry_sample(self) -> dict[str, Any]:
+        """Per-worker snapshot for the live telemetry sampler.
+
+        ``queued`` counts iterations sitting in deployment queues;
+        ``inflight`` is the remainder of the pending sets — iterations
+        handed to an engine but not yet completed.
+        """
+        queued = sum(len(d.queue.items) for d in self.deployments.values())
+        pending = sum(len(d.pending) for d in self.deployments.values())
+        return {
+            "deployments": len(self.deployments),
+            "queued": queued,
+            "inflight": max(pending - queued, 0),
+            "iterations": self.stats.iterations,
+            "busy_s": round(self.stats.busy_seconds, 6),
+            "results_sent": self.stats.results_sent,
+            "heartbeats_sent": self.stats.heartbeats_sent,
+            "cache": self.cache.telemetry_sample(),
+        }
+
     # -- advertisement -----------------------------------------------------------
     def advertisement(self) -> Advertisement:
         p = self.peer.profile

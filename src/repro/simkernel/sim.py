@@ -343,7 +343,27 @@ class Simulator:
         """Swap the tracer in, keeping existing progress subscriptions."""
         tracer.attach_clock(lambda: self.now)
         tracer._subs.extend(self.tracer._subs)
+        if tracer._sampler is None:
+            tracer._sampler = self.tracer._sampler
+        if tracer._recorder is None:
+            tracer._recorder = self.tracer._recorder
         self.tracer = tracer
+
+    def install_sampler(self, sampler) -> None:
+        """Attach a telemetry sampler, enabling tracing if necessary.
+
+        Sampling rides the traced per-event hook (``Tracer.on_step``),
+        so a recording :class:`~repro.observe.tracer.Tracer` is required
+        — one is installed automatically when the simulator still runs
+        its default :class:`~repro.observe.tracer.NullTracer`.  The
+        sampler's tick grid is anchored at the current clock.
+        """
+        if not self.tracer.enabled:
+            from ..observe.tracer import Tracer
+
+            self.install_tracer(Tracer())
+        sampler.bind(self)
+        self.tracer.attach_sampler(sampler)
 
     # -- randomness ---------------------------------------------------------
     def rng(self, name: str):

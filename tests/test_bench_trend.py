@@ -1,0 +1,114 @@
+"""``bench_gate --record-trend``: the committed wall-clock series round-trips."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_TOOL = pathlib.Path(__file__).resolve().parent.parent / "tools" / "bench_gate.py"
+
+
+@pytest.fixture
+def gate(tmp_path, monkeypatch):
+    """The bench_gate module with RESULTS/TREND pointed at a sandbox."""
+    spec = importlib.util.spec_from_file_location("bench_gate_under_test", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    results = tmp_path / "results"
+    results.mkdir()
+    monkeypatch.setattr(module, "REPO", tmp_path)
+    monkeypatch.setattr(module, "RESULTS", results)
+    monkeypatch.setattr(module, "TREND", results / "WALL_TREND.jsonl")
+    monkeypatch.setattr(module, "head_commit", lambda: "abc1234")
+    return module
+
+
+def _bench(gate, scenario, wall=1.5, critical=0.8, fetch=0.3):
+    payload = {
+        "wall_clock_s": wall,
+        "critical_path_s": critical,
+        "sim_time_s": 2.0,
+        "module_fetch_s": fetch,
+    }
+    (gate.RESULTS / f"BENCH_{scenario}.json").write_text(json.dumps(payload))
+    return payload
+
+
+def _trend_lines(gate):
+    return [json.loads(line) for line in gate.TREND.read_text().splitlines()]
+
+
+class TestRecordTrend:
+    def test_round_trip_fields(self, gate):
+        _bench(gate, "e10_policies", wall=1.23456, fetch=0.42)
+        assert gate.record_trend(["e10_policies"]) == 1
+        (entry,) = _trend_lines(gate)
+        assert entry == {
+            "commit": "abc1234",
+            "scenario": "e10_policies",
+            "wall_clock_s": 1.2346,  # rounded to 4 places
+            "critical_path_s": 0.8,
+            "sim_time_s": 2.0,
+            "module_fetch_s": 0.42,
+        }
+
+    def test_same_commit_replaces_not_duplicates(self, gate):
+        _bench(gate, "e10_policies", wall=1.0)
+        gate.record_trend(["e10_policies"])
+        _bench(gate, "e10_policies", wall=2.0)
+        gate.record_trend(["e10_policies"])
+        lines = _trend_lines(gate)
+        assert len(lines) == 1
+        assert lines[0]["wall_clock_s"] == 2.0
+
+    def test_other_commits_preserved(self, gate, monkeypatch):
+        _bench(gate, "e10_policies", wall=1.0)
+        gate.record_trend(["e10_policies"])
+        monkeypatch.setattr(gate, "head_commit", lambda: "def5678")
+        _bench(gate, "e10_policies", wall=3.0)
+        gate.record_trend(["e10_policies"])
+        lines = _trend_lines(gate)
+        assert [e["commit"] for e in lines] == ["abc1234", "def5678"]
+        assert [e["wall_clock_s"] for e in lines] == [1.0, 3.0]
+
+    def test_missing_wall_clock_skipped(self, gate):
+        (gate.RESULTS / "BENCH_e99_analytic.json").write_text(
+            json.dumps({"critical_path_s": None, "wall_clock_s": None})
+        )
+        _bench(gate, "e10_policies")
+        assert gate.record_trend(["e99_analytic", "e10_policies"]) == 1
+        (entry,) = _trend_lines(gate)
+        assert entry["scenario"] == "e10_policies"
+
+    def test_multiple_scenarios_one_line_each(self, gate):
+        _bench(gate, "e10_policies", fetch=0.1)
+        _bench(gate, "e18_moddist", fetch=7.7)
+        assert gate.record_trend(["e10_policies", "e18_moddist"]) == 2
+        by_scenario = {e["scenario"]: e for e in _trend_lines(gate)}
+        assert by_scenario["e18_moddist"]["module_fetch_s"] == 7.7
+        assert by_scenario["e10_policies"]["module_fetch_s"] == 0.1
+
+    def test_blank_lines_tolerated(self, gate):
+        gate.TREND.write_text(
+            json.dumps({"commit": "old0000", "scenario": "x",
+                        "wall_clock_s": 9.0}) + "\n\n"
+        )
+        _bench(gate, "e10_policies")
+        gate.record_trend(["e10_policies"])
+        assert len(_trend_lines(gate)) == 2
+
+
+class TestGateCli:
+    def test_record_trend_flag_appends(self, gate, capsys):
+        _bench(gate, "e10_policies")
+        # no committed baseline in the sandbox -> gate skips, still records
+        monkeypatch_payload = gate.committed_payload
+        gate.committed_payload = lambda scenario: None
+        try:
+            assert gate.main(["e10_policies", "--record-trend"]) == 0
+        finally:
+            gate.committed_payload = monkeypatch_payload
+        assert gate.TREND.exists()
+        out = capsys.readouterr().out
+        assert "trend: recorded 1 scenario(s) at abc1234" in out

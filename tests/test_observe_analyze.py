@@ -319,8 +319,10 @@ class TestAnalyzeBundle:
         grid, _ = _traced_run()
         bundle = analyze(grid.sim.tracer)
         assert set(bundle) == {
-            "window", "critical_path", "utilization", "bottlenecks", "counts"
+            "window", "critical_path", "utilization", "bottlenecks",
+            "counts", "incidents",
         }
+        assert bundle["incidents"] == []  # no health monitor on this run
         assert bundle["counts"]["spans"] > 0
 
     def test_json_serialisable(self):

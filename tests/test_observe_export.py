@@ -193,6 +193,33 @@ class TestWriteMetrics:
         write_metrics(_sample_tracer(), str(p2))
         assert p1.read_bytes() == p2.read_bytes()
 
+    def test_unknown_extension_rejected(self, tmp_path):
+        import pytest
+
+        from repro.observe import write_metrics
+
+        target = tmp_path / "metrics.csv"
+        with pytest.raises(ValueError) as exc:
+            write_metrics(_sample_tracer(), str(target))
+        message = str(exc.value)
+        assert ".json" in message and "supported" in message
+        assert not target.exists()  # rejected before any bytes hit disk
+
+    def test_no_extension_rejected(self, tmp_path):
+        import pytest
+
+        from repro.observe import write_metrics
+
+        with pytest.raises(ValueError):
+            write_metrics(_sample_tracer(), str(tmp_path / "metrics"))
+
+    def test_case_insensitive_extension(self, tmp_path):
+        from repro.observe import write_metrics
+
+        path = tmp_path / "METRICS.JSON"
+        snapshot = write_metrics(_sample_tracer(), str(path))
+        assert json.loads(path.read_text()).keys() == snapshot.keys()
+
 
 class TestSummaryAndTimelineEdgeCases:
     def test_empty_tracer_summary(self):

@@ -143,6 +143,58 @@ class TestMetrics:
             snaps.append(h.snapshot())
         assert snaps[0] == snaps[1]
 
+    def test_observe_many_int_matches_sequential(self):
+        import numpy as np
+
+        vals = np.arange(0, 50, dtype=np.int64) % 7
+        batched = Histogram(bounds=(1.0, 3.0, 5.0))
+        batched.observe_many(vals)
+        sequential = Histogram(bounds=(1.0, 3.0, 5.0))
+        for v in vals:
+            sequential.observe(float(v))
+        assert batched.snapshot() == sequential.snapshot()
+
+    def test_observe_many_float_dtype_falls_back(self):
+        # Float batches must take the sequential path so the running
+        # total is bit-identical to repeated observe() calls.
+        import numpy as np
+
+        vals = np.array([0.1, 0.2, 0.3, 1.5, 9.75, 0.7], dtype=np.float64)
+        batched = Histogram(bounds=(1.0, 10.0))
+        batched.observe_many(vals)
+        sequential = Histogram(bounds=(1.0, 10.0))
+        for v in vals:
+            sequential.observe(float(v))
+        assert batched.total == sequential.total  # exact, not approx
+        assert batched.snapshot() == sequential.snapshot()
+
+    def test_observe_many_float_list_falls_back(self):
+        batched = Histogram(bounds=(1.0, 10.0))
+        batched.observe_many([0.25, 2.5, 25.0])
+        assert batched.counts == [1, 1, 1]
+        assert batched.count == 3
+        assert batched.vmin == 0.25 and batched.vmax == 25.0
+
+    def test_observe_many_empty_inputs(self):
+        import numpy as np
+
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe_many([])
+        h.observe_many(np.array([], dtype=np.int64))
+        h.observe_many(np.array([], dtype=np.float64))
+        assert h.count == 0 and h.total == 0.0
+        snap = h.snapshot()
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_observe_many_int_updates_extrema(self):
+        import numpy as np
+
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(5.0)
+        h.observe_many(np.array([2, 17], dtype=np.int64))
+        assert h.vmin == 2 and h.vmax == 17
+        assert h.count == 3
+
     def test_geometric_bounds_strictly_increasing(self):
         bounds = geometric_bounds(1e-6, 10.0**0.5, 19)
         assert len(bounds) == 19
