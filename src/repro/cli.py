@@ -103,6 +103,19 @@ def _cmd_policies(args) -> int:
     return 0
 
 
+def _cmd_transports(args) -> int:
+    from .transport import iter_transports
+
+    backends = iter_transports()
+    print(render_table(
+        ["transport", "class", "summary"],
+        [(d.name, d.cls.__name__, d.summary) for d in backends],
+        title=f"{len(backends)} transport backends registered",
+    ))
+    print("select with: repro run ... --workers N --transport {sim,tcp}")
+    return 0
+
+
 def _cmd_faults(args) -> int:
     from .faults import CHAOS_LEVELS, FAULT_KIND_DOCS, chaos
 
@@ -184,6 +197,42 @@ def _cmd_run(args) -> int:
         for probe in attached:
             print(f"probe {probe.task}: {len(probe.values)} values, "
                   f"last = {type(probe.last).__name__}")
+        return 0
+
+    if args.transport == "tcp":
+        if args.trace_out or args.metrics_out or args.telemetry_out:
+            print("error: --trace-out/--metrics-out/--telemetry-out need the "
+                  "sim transport (observability files describe one process)",
+                  file=sys.stderr)
+            return 1
+        if args.discovery != "central":
+            print("error: --transport tcp supports central discovery only",
+                  file=sys.stderr)
+            return 1
+        from .deployment import run_tcp_localhost
+
+        report = run_tcp_localhost(
+            graph,
+            iterations=args.iterations,
+            n_workers=args.workers,
+            dispatch=args.dispatch,
+            probes=probes,
+            verification=args.verification,
+            seed=args.seed,
+        )
+        rows = [
+            ("mode", f"tcp localhost ({args.workers} worker processes + "
+                     "controller)"),
+            ("policy", report.policy),
+            ("iterations", report.iterations),
+            ("deploy time (wall s)", round(report.deploy_time, 3)),
+            ("makespan (wall s)", round(report.makespan, 3)),
+            ("re-dispatches", report.redispatches),
+            ("placements", dict(report.placements)),
+        ]
+        print(render_kv(rows, title=f"ran {graph.name}"))
+        for name, values in report.probe_values.items():
+            print(f"probe {name}: {len(values)} values")
         return 0
 
     from .grid import ConsumerGrid
@@ -296,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_policies.set_defaults(fn=_cmd_policies)
 
+    p_transports = sub.add_parser(
+        "transports", help="list registered transport backends"
+    )
+    p_transports.set_defaults(fn=_cmd_transports)
+
     p_faults = sub.add_parser(
         "faults", help="list fault kinds and chaos() preset contents"
     )
@@ -334,6 +388,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run.add_argument("--dispatch", default="round_robin",
                        choices=dispatch_policy_names())
+    p_run.add_argument("--transport", default="sim", choices=("sim", "tcp"),
+                       help="grid substrate: sim = deterministic simulated "
+                            "network (default); tcp = real localhost "
+                            "sockets, controller in-process + one OS "
+                            "process per worker")
     p_run.add_argument("--verification", default="none", metavar="SPEC",
                        help="result-integrity strategy: none, replicate-<k> "
                             "(vote over k peers), or spot-<p> (recompute a "

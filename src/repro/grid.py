@@ -43,6 +43,12 @@ from .resources.availability import AvailabilityModel
 from .service.controller import RunReport, TrianaController
 from .service.worker import TrianaService
 from .simkernel import Simulator
+from .transport import (
+    RealtimeSimulator,
+    SimTransport,
+    TcpTransport,
+    transport_names,
+)
 
 __all__ = ["ConsumerGrid"]
 
@@ -135,34 +141,74 @@ class ConsumerGrid:
         module_replicas: int = 0,
         module_chunk_bytes: Optional[int] = None,
         cache_fetch_timeout: float = 30.0,
+        transport: str = "sim",
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if transport not in transport_names():
+            raise ValueError(
+                f"unknown transport {transport!r}; registered: "
+                f"{', '.join(transport_names())}"
+            )
         if tracer is None and (trace or telemetry):
             tracer = Tracer()
-        self.sim = Simulator(seed=seed, tracer=tracer)
-        self.network = SimNetwork(
-            self.sim,
-            jitter_fraction=jitter_fraction,
-            contention=contention,
-            loss_fraction=loss_fraction,
-            corrupt_fraction=corrupt_fraction,
-            duplicate_fraction=duplicate_fraction,
-            reorder_fraction=reorder_fraction,
-        )
+        if transport == "tcp":
+            # Single-process loopback deployment: every peer still lives
+            # in this process, but frames cross real sockets through the
+            # canonical codec.  For grids spanning OS processes use
+            # repro.deployment (which the CLI's --transport tcp drives).
+            chaos = {
+                "jitter_fraction": jitter_fraction,
+                "contention": contention,
+                "loss_fraction": loss_fraction,
+                "corrupt_fraction": corrupt_fraction,
+                "duplicate_fraction": duplicate_fraction,
+                "reorder_fraction": reorder_fraction,
+                "fault_plan": fault_plan,
+            }
+            bad = sorted(k for k, v in chaos.items() if v)
+            if bad:
+                raise ValueError(
+                    "chaos modelling is simulation apparatus; not supported "
+                    f"on the tcp transport: {', '.join(bad)}"
+                )
+            self.sim = RealtimeSimulator(seed=seed, tracer=tracer)
+            self.transport = TcpTransport(self.sim)
+            self.network = self.transport
+        else:
+            self.sim = Simulator(seed=seed, tracer=tracer)
+            self.network = SimNetwork(
+                self.sim,
+                jitter_fraction=jitter_fraction,
+                contention=contention,
+                loss_fraction=loss_fraction,
+                corrupt_fraction=corrupt_fraction,
+                duplicate_fraction=duplicate_fraction,
+                reorder_fraction=reorder_fraction,
+            )
+            # Peers speak through the adapter; chaos/telemetry tooling
+            # keeps the raw SimNetwork handle (self.network).  The
+            # adapter delegates, so both views share state.
+            self.transport = SimTransport(self.network)
+        if discovery not in self.transport.supported_discovery():
+            raise ValueError(
+                f"discovery {discovery!r} is not supported on the "
+                f"{transport!r} transport "
+                f"(supported: {', '.join(self.transport.supported_discovery())})"
+            )
         self.discovery = _make_discovery(discovery, query_window)
         self.registry = registry if registry is not None else global_registry()
 
         # The portal: hosts the module repository and (for central
         # discovery) the advertisement index.
-        self.portal = Peer("portal", self.network, profile=controller_profile)
+        self.portal = Peer("portal", self.transport, profile=controller_profile)
         self.discovery.attach(self.portal)
         self.repository = ModuleRepository(
             self.portal, self.registry, chunk_bytes=module_chunk_bytes
         )
 
         self.controller_peer = Peer(
-            "controller", self.network, profile=controller_profile
+            "controller", self.transport, profile=controller_profile
         )
         self.discovery.attach(self.controller_peer)
         self.controller = TrianaController(
@@ -189,7 +235,7 @@ class ConsumerGrid:
         self.worker_peers: dict[str, Peer] = {}
         self.availability: dict[str, AvailabilityModel] = {}
         for i in range(n_workers):
-            peer = Peer(f"worker-{i}", self.network, profile=worker_profile or DSL_PROFILE)
+            peer = Peer(f"worker-{i}", self.transport, profile=worker_profile or DSL_PROFILE)
             self.discovery.attach(peer)
             service = TrianaService(
                 peer,
@@ -299,7 +345,7 @@ class ConsumerGrid:
         from .resources.gram import BatchQueue
         from .service.cluster import ClusterTrianaService
 
-        peer = Peer(name, self.network, profile=profile or DSL_PROFILE)
+        peer = Peer(name, self.transport, profile=profile or DSL_PROFILE)
         self.discovery.attach(peer)
         queue = BatchQueue(
             self.sim,

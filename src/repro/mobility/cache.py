@@ -40,6 +40,7 @@ from typing import Any, Optional
 
 from ..p2p.advertisement import (
     ADV_MODULE,
+    AttrPredicate,
     module_adv_name,
     module_replica_advertisement,
 )
@@ -313,8 +314,9 @@ class ModuleCache:
             self.peer,
             adv_type=ADV_MODULE,
             name=module_adv_name(unit_name),
-            predicate=lambda attrs: (
-                attrs.get("digest") == want and attrs.get("host") != me
+            # Wire-safe predicate (frames may cross process boundaries).
+            predicate=AttrPredicate.make(
+                equals={"digest": want}, not_equals={"host": me}
             ),
             window=self.resolve_window,
         )

@@ -8,7 +8,11 @@ be undertaken)."
 
 A :class:`ModuleRepository` is hosted on one peer (typically the
 controller's, or the paper's "pre-defined portal") and answers
-``module-fetch`` messages with a :class:`ModulePackage`.  Publishing a new
+``module-fetch`` messages with a :class:`ModulePackage`.  On the TCP
+transport the package crosses the process boundary with its unit class
+encoded *by reference* (module-qualified name), so a worker process
+imports — rather than deserialises — the code it fetched, matching the
+paper's download-on-demand model.  Publishing a new
 version of a unit bumps the authoritative version; peers that fetch on
 demand always receive the latest, while peers that reuse a stale cache can
 be *measured* doing so (experiment E8).

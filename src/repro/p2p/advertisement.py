@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 __all__ = [
-    "Advertisement", "AdvCache",
+    "Advertisement", "AdvCache", "AttrPredicate",
     "ADV_PEER", "ADV_PIPE", "ADV_SERVICE", "ADV_MODULE",
     "module_adv_name", "module_replica_advertisement",
 ]
@@ -57,6 +57,59 @@ def module_replica_advertisement(
         },
         expires_at=expires_at,
     )
+
+@dataclass(frozen=True)
+class AttrPredicate:
+    """Declarative attribute filter for discovery queries.
+
+    Historically query predicates were Python closures, which is fine
+    inside one simulated process but unshippable: a ``central-query``
+    frame carries its :class:`~repro.p2p.discovery.QuerySpec` —
+    predicate included — to the index node, and on a real transport
+    that frame crosses a process boundary.  ``AttrPredicate`` is the
+    wire-safe form: three conjunctive clause sets over the
+    advertisement's attribute dict, stored as sorted tuples so records
+    encode canonically.
+
+    * ``equals``     — every ``(key, value)`` must match exactly;
+    * ``not_equals`` — every ``(key, value)`` must differ;
+    * ``at_least``   — every ``(key, threshold)`` must satisfy
+      ``attrs.get(key, 0.0) >= threshold`` (the paper's "minimum CPU
+      capability" style constraint).
+
+    Instances are callable with the same signature as the old closures,
+    so every discovery backend accepts either form unchanged.
+    """
+
+    equals: tuple = ()
+    not_equals: tuple = ()
+    at_least: tuple = ()
+
+    @staticmethod
+    def make(equals=None, not_equals=None, at_least=None) -> "AttrPredicate":
+        """Build from dicts/iterables of pairs; clause order is canonical."""
+        def norm(spec) -> tuple:
+            if not spec:
+                return ()
+            items = spec.items() if isinstance(spec, dict) else spec
+            return tuple(sorted((str(k), v) for k, v in items))
+
+        return AttrPredicate(
+            equals=norm(equals), not_equals=norm(not_equals), at_least=norm(at_least)
+        )
+
+    def __call__(self, attrs: dict) -> bool:
+        for key, value in self.equals:
+            if attrs.get(key) != value:
+                return False
+        for key, value in self.not_equals:
+            if attrs.get(key) == value:
+                return False
+        for key, threshold in self.at_least:
+            if attrs.get(key, 0.0) < threshold:
+                return False
+        return True
+
 
 _adv_counter = itertools.count()
 

@@ -65,7 +65,12 @@ class DiscoveryStats:
 @dataclass
 class _PendingQuery:
     event: Event
-    results: dict[int, Advertisement] = field(default_factory=dict)
+    #: keyed by (adv_id, type, name, publisher) — adv_id alone is only
+    #: unique within one OS process (it is a module-level counter), and
+    #: on a real transport replies aggregate records minted by several
+    #: processes.  The composite key keeps such records distinct while
+    #: staying bit-identical in simulation, where adv_ids never collide.
+    results: dict[tuple, Advertisement] = field(default_factory=dict)
     expected_replies: Optional[int] = None
     replies_seen: int = 0
     done: bool = False
@@ -74,7 +79,8 @@ class _PendingQuery:
 
     def add(self, advs: list[Advertisement]) -> None:
         for adv in advs:
-            self.results[adv.adv_id] = adv
+            key = (adv.adv_id, adv.adv_type, adv.name, adv.publisher)
+            self.results[key] = adv
 
     def finish(self) -> list[Advertisement]:
         if not self.done:
@@ -215,6 +221,15 @@ class CentralIndexDiscovery(DiscoveryService):
         """Designate the index node (must already be attached)."""
         self.peer(peer.peer_id)
         self.index_id = peer.peer_id
+
+    def set_index_id(self, peer_id: str) -> None:
+        """Designate a *remote* index by id (multi-process transports).
+
+        The index peer lives in another OS process, so it cannot be
+        attached locally; publishes and queries simply address frames
+        to ``peer_id`` over the transport.
+        """
+        self.index_id = peer_id
 
     def _attach_extra(self, peer: Peer) -> None:
         peer.on("central-publish", self._on_publish)

@@ -26,6 +26,15 @@ __all__ = ["Peer", "PeerGroup"]
 class Peer:
     """One Consumer Grid participant.
 
+    ``network`` is anything satisfying the
+    :class:`~repro.transport.base.Transport` surface — the raw
+    :class:`SimNetwork` (still accepted, and what most unit tests
+    build on), its :class:`~repro.transport.sim.SimTransport` adapter,
+    or a socket transport such as
+    :class:`~repro.transport.tcp.TcpTransport`.  The peer reads its
+    clock (``self.sim``) from the transport, which is how the same
+    protocol code runs on simulated time and wall time.
+
     ``__slots__`` keeps 100k-peer swarms cheap; ``_pipe_manager`` is
     declared here because :class:`~repro.p2p.pipes.PipeManager` annotates
     peers with a back-reference on attach.
@@ -36,7 +45,7 @@ class Peer:
     def __init__(
         self,
         peer_id: str,
-        network: SimNetwork,
+        network: "SimNetwork | Any",
         profile: Optional[NodeProfile] = None,
         groups: tuple[str, ...] = (),
     ):

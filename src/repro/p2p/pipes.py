@@ -12,8 +12,11 @@ it" (§3.5).  This module reproduces that mechanism:
 * data arriving on an input pipe lands in a waitable
   :class:`~repro.simkernel.Store` (and an optional callback).
 
-Pipe traffic adapts to whatever the underlying network models — "the
-virtual communication paradigm in JXTA networks".
+Pipe traffic adapts to whatever the underlying fabric models — "the
+virtual communication paradigm in JXTA networks".  Pipes never touch
+the fabric directly: everything goes through the hosting
+:class:`~repro.p2p.peer.Peer`, so they run unchanged on any
+``repro.transport`` backend (simulated or TCP).
 """
 
 from __future__ import annotations

@@ -28,7 +28,7 @@ from typing import Any, Optional
 
 from ..core.engine import LocalEngine, Probe
 from ..core.taskgraph import TaskGraph
-from ..p2p.advertisement import ADV_SERVICE
+from ..p2p.advertisement import ADV_SERVICE, AttrPredicate
 from ..p2p.discovery import DiscoveryService
 from ..p2p.network import Message
 from ..p2p.peer import Peer
@@ -275,12 +275,12 @@ class TrianaController:
 
         Returns an event yielding a sorted list of worker peer ids.
         """
-        def pred(attrs: dict[str, Any]) -> bool:
-            return (
-                attrs.get("kind") == WORKER_SERVICE_KIND
-                and attrs.get("cpu_flops", 0.0) >= min_cpu_flops
-            )
-
+        # Declarative (not a closure) so the query frame can cross a
+        # real transport to a remote index — see AttrPredicate.
+        pred = AttrPredicate.make(
+            equals={"kind": WORKER_SERVICE_KIND},
+            at_least={"cpu_flops": min_cpu_flops},
+        )
         query = self.discovery.query(self.peer, adv_type=ADV_SERVICE, predicate=pred)
         found = self.sim.event()
 

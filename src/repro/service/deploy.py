@@ -1,5 +1,9 @@
 """Deploy-with-retry: shipping sub-graph XML to worker peers.
 
+Transport-agnostic: deploys are plain protocol messages through the
+owning peer, so the same retry/ack machinery drives workers on the
+simulated fabric and across OS processes over TCP alike.
+
 Owns the ``triana-deploy`` / ``deploy-ack`` exchange so neither the
 controller nor the policies re-implement ack bookkeeping.  Policies reach
 it through :meth:`~repro.service.policies.DispatchContext.deploy`.

@@ -21,7 +21,7 @@ section.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Optional
 
 __all__ = ["WorkerHealth", "HeartbeatFailureDetector"]
 
@@ -57,6 +57,7 @@ class HeartbeatFailureDetector:
         blacklist_after: int = 3,
         suspicion_penalty: float = 0.3,
         result_reward: float = 0.05,
+        clock: Optional[Callable[[], float]] = None,
     ):
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
@@ -70,17 +71,37 @@ class HeartbeatFailureDetector:
         self.suspicion_penalty = suspicion_penalty
         self.result_reward = result_reward
         self.workers: dict[str, WorkerHealth] = {}
+        #: optional time source: when set, every ``now`` argument may be
+        #: omitted and the detector reads the clock itself.  The
+        #: simulated controller keeps passing explicit ``sim.now``
+        #: values (bit-identical to the pre-seam behaviour); wall-clock
+        #: deployments hand in ``lambda: sim.wall_now`` (or
+        #: ``time.monotonic``) and call the observation hooks bare.
+        self.clock = clock
+
+    def _now(self, now: Optional[float]) -> float:
+        """Resolve an explicit timestamp against the injected clock."""
+        if now is not None:
+            return now
+        if self.clock is None:
+            raise ValueError(
+                "detector has no clock: pass now= explicitly or construct "
+                "HeartbeatFailureDetector(clock=...)"
+            )
+        return self.clock()
 
     # -- lifecycle ------------------------------------------------------------
-    def watch(self, worker: str, now: float) -> None:
+    def watch(self, worker: str, now: Optional[float] = None) -> None:
         """Start (or refresh) watching a worker; grants a full grace period."""
+        now = self._now(now)
         rec = self.workers.setdefault(worker, WorkerHealth())
         rec.last_heartbeat = now
         rec.suspected = False
 
     # -- observations ---------------------------------------------------------
-    def observe_heartbeat(self, worker: str, now: float) -> None:
+    def observe_heartbeat(self, worker: str, now: Optional[float] = None) -> None:
         """Record a ``triana-heartbeat``; clears any standing suspicion."""
+        now = self._now(now)
         rec = self.workers.get(worker)
         if rec is None:
             return  # heartbeat from a worker we never placed work on
@@ -90,8 +111,9 @@ class HeartbeatFailureDetector:
             # Resurrection: trust returns, but the scar (score) remains.
             rec.suspected = False
 
-    def observe_result(self, worker: str, now: float) -> None:
+    def observe_result(self, worker: str, now: Optional[float] = None) -> None:
         """Record a delivered result: refreshes liveness and repays score."""
+        now = self._now(now)
         rec = self.workers.get(worker)
         if rec is None:
             return
@@ -101,15 +123,21 @@ class HeartbeatFailureDetector:
         rec.score = min(1.0, rec.score + self.result_reward)
 
     def penalise(
-        self, worker: str, now: float, amount: float, reason: str = "penalty"
+        self,
+        worker: str,
+        now: Optional[float] = None,
+        amount: float = 0.0,
+        reason: str = "penalty",
     ) -> None:
         """External penalty hook (deploy failures, integrity convictions...)."""
+        now = self._now(now)
         rec = self.workers.setdefault(worker, WorkerHealth())
         self._drain(rec, now, amount, reason)
 
     # -- the periodic check ---------------------------------------------------
-    def check(self, now: float) -> list[str]:
+    def check(self, now: Optional[float] = None) -> list[str]:
         """Mark workers whose heartbeats went silent; returns new suspects."""
+        now = self._now(now)
         deadline = self.suspect_after_missed * self.heartbeat_interval
         fresh: list[str] = []
         for worker, rec in sorted(self.workers.items()):
@@ -137,13 +165,14 @@ class HeartbeatFailureDetector:
                 )
 
     # -- queries --------------------------------------------------------------
-    def is_alive(self, worker: str, now: float) -> bool:
+    def is_alive(self, worker: str, now: Optional[float] = None) -> bool:
         """Not currently suspected (unknown workers are presumed alive)."""
         rec = self.workers.get(worker)
         return rec is None or not rec.suspected
 
-    def is_dispatchable(self, worker: str, now: float) -> bool:
+    def is_dispatchable(self, worker: str, now: Optional[float] = None) -> bool:
         """Suitable as a (re)dispatch target right now."""
+        now = self._now(now)
         rec = self.workers.get(worker)
         if rec is None:
             return True
@@ -154,8 +183,9 @@ class HeartbeatFailureDetector:
         )
 
     # -- reporting ------------------------------------------------------------
-    def snapshot(self, now: float) -> dict[str, Any]:
+    def snapshot(self, now: Optional[float] = None) -> dict[str, Any]:
         """Detector state for the run report's ``recovery`` section."""
+        now = self._now(now)
         return {
             "suspected": {
                 w: r.suspicions for w, r in self.workers.items() if r.suspicions
@@ -190,13 +220,14 @@ class HeartbeatFailureDetector:
             },
         }
 
-    def telemetry_sample(self, now: float) -> dict[str, Any]:
+    def telemetry_sample(self, now: Optional[float] = None) -> dict[str, Any]:
         """Light snapshot for the live telemetry sampler.
 
         Unlike :meth:`snapshot`, ``suspected`` lists the workers
         *currently* suspected — health detectors key on the transition
         into suspicion, not on lifetime suspicion counts.
         """
+        now = self._now(now)
         return {
             "suspected": sorted(
                 w for w, r in self.workers.items() if r.suspected

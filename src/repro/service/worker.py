@@ -411,7 +411,8 @@ class TrianaService:
         while True:
             iteration, inputs = yield dep.queue.get()
             # Speed is re-read per iteration: the chaos layer's straggler
-            # fault scales it mid-run via SimNetwork.set_speed_factor.
+            # fault scales it mid-run via the fabric's set_speed_factor
+            # (a no-op 1.0 on chaos-free transports like TCP).
             speed = (
                 self.peer.profile.cpu_flops
                 * self.efficiency
@@ -450,8 +451,9 @@ class TrianaService:
         """Apply any installed compute-fault model to this execution.
 
         The chaos layer plants :class:`~repro.faults.compute.ComputeFaultModel`
-        instances in ``SimNetwork.compute_faults``; a clean fleet pays
-        one dict lookup.  Tampering is invisible to the worker's own
+        instances in the fabric's ``compute_faults`` registry (every
+        ``repro.transport`` backend exposes one; only the simulated
+        fabric ever populates it); a clean fleet pays one dict lookup.  Tampering is invisible to the worker's own
         bookkeeping on purpose — a saboteur believes (or pretends) its
         answer is fine, so the result ships through the normal path.
         """

@@ -1,0 +1,72 @@
+"""Transport layer: one protocol, pluggable substrates.
+
+The consumer-grid protocol (discovery, deployment, execution,
+heartbeats, module distribution, integrity voting) is written against
+the :class:`~repro.transport.base.Transport` interface.  Two backends
+are registered:
+
+``sim``
+    :class:`~repro.transport.sim.SimTransport` — the deterministic
+    default; a zero-cost adapter over the modelled
+    :class:`~repro.p2p.network.SimNetwork`.
+``tcp``
+    :class:`~repro.transport.tcp.TcpTransport` — asyncio TCP with
+    length-prefixed canonical frames, pooled per-peer connections and
+    reconnect-with-backoff, driven by the wall-clock
+    :class:`~repro.transport.runtime.RealtimeSimulator`.
+
+``repro transports`` lists this registry from the CLI;
+:mod:`repro.deployment` assembles multi-process grids on the TCP
+backend.
+"""
+
+from .base import (
+    Transport,
+    TransportInfo,
+    iter_transports,
+    register_transport,
+    transport_info,
+    transport_names,
+)
+from .runtime import RealtimeSimulator
+from .sim import SimTransport
+from .tcp import TcpTransport
+from .wire import (
+    WIRE_VERSION,
+    WireError,
+    decode,
+    decode_message,
+    encode,
+    encode_message,
+    result_checksum,
+)
+
+register_transport(
+    "sim",
+    SimTransport,
+    "Deterministic simulated fabric (default; bit-identical benches)",
+)
+register_transport(
+    "tcp",
+    TcpTransport,
+    "Asyncio TCP: length-prefixed canonical frames, pooled connections",
+)
+
+__all__ = [
+    "Transport",
+    "TransportInfo",
+    "SimTransport",
+    "TcpTransport",
+    "RealtimeSimulator",
+    "register_transport",
+    "transport_names",
+    "transport_info",
+    "iter_transports",
+    "WireError",
+    "WIRE_VERSION",
+    "encode",
+    "decode",
+    "encode_message",
+    "decode_message",
+    "result_checksum",
+]

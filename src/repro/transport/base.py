@@ -1,0 +1,181 @@
+"""The :class:`Transport` interface: what a peer needs from its network.
+
+Every layer above this one — :class:`~repro.p2p.peer.Peer`, discovery,
+pipes, the Triana controller/worker protocol, the module cache and
+repository — talks to the network through the narrow surface defined
+here.  Two implementations exist:
+
+* :class:`~repro.transport.sim.SimTransport` — a zero-cost delegating
+  adapter over :class:`~repro.p2p.network.SimNetwork`.  The default;
+  deterministic, and bit-identical to driving the SimNetwork directly.
+* :class:`~repro.transport.tcp.TcpTransport` — asyncio TCP with
+  length-prefixed frames and the canonical codec from
+  :mod:`~repro.transport.wire`, so the same protocol runs across real
+  OS processes on localhost.
+
+The contract deliberately mirrors the subset of ``SimNetwork`` the
+upper layers actually use (found by auditing every ``peer.network``
+attribute access): node membership, liveness, profiles, the modelled
+``transfer_time``, ``send``, traffic ``stats``, the ``compute_faults``
+fault seam, and the discovery-backend hook.  Chaos knobs (partitions,
+loss, contention) stay on ``SimNetwork`` itself — they are simulation
+apparatus, not transport semantics.
+
+A registry maps backend names to classes so ``repro transports`` can
+list them and ``ConsumerGrid(transport=...)`` can validate selection,
+mirroring the distribution-policy registry.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..p2p.network import Message, NetStats, NodeProfile
+
+__all__ = [
+    "Transport",
+    "TransportInfo",
+    "register_transport",
+    "transport_names",
+    "transport_info",
+    "iter_transports",
+]
+
+
+class Transport(abc.ABC):
+    """Abstract message substrate beneath the peer-to-peer layer.
+
+    Attributes
+    ----------
+    sim:
+        The event kernel this transport schedules against — a
+        :class:`~repro.simkernel.Simulator` for the simulated backend,
+        a :class:`~repro.transport.runtime.RealtimeSimulator` for TCP.
+        Peers read their clock and timeout primitives from here, which
+        is what lets sim-time waits in the service layer become wall
+        clock waits on a real transport without code changes.
+    stats:
+        A :class:`~repro.p2p.network.NetStats` traffic counter.
+    compute_faults:
+        Mutable mapping consulted by workers before executing units —
+        the sabotage seam used by the integrity experiments.  Empty on
+        healthy transports.
+    """
+
+    sim: Any
+    stats: NetStats
+    compute_faults: Dict[str, Any]
+
+    # -- membership ---------------------------------------------------------
+    @abc.abstractmethod
+    def add_node(
+        self,
+        node_id: str,
+        handler: Callable[[Message], None],
+        profile: Optional[NodeProfile] = None,
+    ) -> None:
+        """Register a local node and its inbound-message handler."""
+
+    @abc.abstractmethod
+    def remove_node(self, node_id: str) -> None:
+        """Forget a local node."""
+
+    @abc.abstractmethod
+    def nodes(self) -> List[str]:
+        """Sorted ids of locally hosted nodes."""
+
+    # -- liveness & profiles ------------------------------------------------
+    @abc.abstractmethod
+    def is_online(self, node_id: str) -> bool:
+        """Whether ``node_id`` is believed reachable."""
+
+    @abc.abstractmethod
+    def set_online(self, node_id: str, online: bool) -> None:
+        """Flip a local node's liveness (churn modelling / drain)."""
+
+    @abc.abstractmethod
+    def profile(self, node_id: str) -> NodeProfile:
+        """Link/CPU profile for ``node_id`` (a default for remote peers)."""
+
+    def speed_factor(self, node_id: str) -> float:
+        """Multiplier on a node's compute speed; 1.0 unless modelled."""
+        return 1.0
+
+    # -- traffic ------------------------------------------------------------
+    @abc.abstractmethod
+    def send(self, message: Message) -> float:
+        """Dispatch ``message``; returns the modelled one-way delay."""
+
+    def transfer_time(self, src: str, dst: str, size_bytes: int) -> float:
+        """Modelled latency + serialisation delay for a transfer."""
+        p_src, p_dst = self.profile(src), self.profile(dst)
+        return (
+            p_src.latency_s
+            + p_dst.latency_s
+            + size_bytes / min(p_src.up_bps, p_dst.down_bps)
+        )
+
+    def neighbours(self, node_id: str) -> List[str]:
+        """Overlay neighbours, for flooding discovery; empty if no overlay."""
+        return []
+
+    # -- discovery hook -----------------------------------------------------
+    def supported_discovery(self) -> tuple[str, ...]:
+        """Discovery backends this transport can carry.
+
+        Flooding and rendezvous walk a modelled overlay, which only the
+        simulated fabric provides; socket transports restrict grids to
+        the central index (the paper's JXTA-rendezvous-like portal).
+        """
+        return ("central",)
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Release sockets/threads; idempotent.  No-op for sim backends."""
+
+
+# ---------------------------------------------------------------------------
+# registry (mirrors the distribution-policy registry)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransportInfo:
+    """One registered backend: name, implementing class, summary line."""
+
+    name: str
+    cls: type
+    summary: str
+
+
+_REGISTRY: Dict[str, TransportInfo] = {}
+
+
+def register_transport(name: str, cls: type, summary: Optional[str] = None) -> None:
+    """Register a transport backend under ``name`` (last write wins)."""
+    if summary is None:
+        doc = (cls.__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else ""
+    _REGISTRY[name] = TransportInfo(name=name, cls=cls, summary=summary)
+
+
+def transport_names() -> List[str]:
+    """Sorted names of registered backends."""
+    return sorted(_REGISTRY)
+
+
+def transport_info(name: str) -> TransportInfo:
+    """Look up one backend; raises ``ValueError`` with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        )
+
+
+def iter_transports() -> List[TransportInfo]:
+    """All registered backends, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

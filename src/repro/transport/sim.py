@@ -1,0 +1,117 @@
+"""``SimTransport``: the deterministic default backend.
+
+A pure delegating adapter over :class:`~repro.p2p.network.SimNetwork`.
+It adds no behaviour, consumes no randomness, and schedules no events —
+``send`` *is* ``SimNetwork.send`` (bound through in ``__init__`` so the
+per-message cost is a plain function call, not an extra method-dispatch
+hop).  Every committed BENCH critical path therefore stays bit-identical
+whether peers are wired to the raw network (as old tests still do) or
+through this adapter (as :class:`~repro.grid.ConsumerGrid` now does).
+
+The chaos surface (partitions, loss, overlays, speed factors) is also
+forwarded, so fault injectors and flooding discovery keep working when
+handed the adapter instead of the raw fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..p2p.network import Message, NodeProfile, SimNetwork
+from .base import Transport
+
+__all__ = ["SimTransport"]
+
+
+class SimTransport(Transport):
+    """Deterministic simulated fabric (delegates to :class:`SimNetwork`)."""
+
+    def __init__(self, network: SimNetwork):
+        self.network = network
+        self.sim = network.sim
+        # Shared objects, not copies: the grid's fault injector and the
+        # telemetry sampler keep talking to the raw SimNetwork and both
+        # views must observe the same counters and fault plans.
+        self.stats = network.stats
+        self.compute_faults = network.compute_faults
+        # Hot-path pass-throughs: shadow the delegating methods below
+        # with the SimNetwork bound methods themselves.
+        self.send = network.send
+        self.transfer_time = network.transfer_time
+        self.is_online = network.is_online
+        self.profile = network.profile
+        self.speed_factor = network.speed_factor
+        self.neighbours = network.neighbours
+
+    # -- membership ---------------------------------------------------------
+    def add_node(
+        self,
+        node_id: str,
+        handler: Callable[[Message], None],
+        profile: Optional[NodeProfile] = None,
+    ) -> None:
+        self.network.add_node(node_id, handler, profile)
+
+    def remove_node(self, node_id: str) -> None:
+        self.network.remove_node(node_id)
+
+    def nodes(self) -> List[str]:
+        return self.network.nodes()
+
+    # -- liveness & profiles (shadowed by bound methods in __init__) --------
+    def is_online(self, node_id: str) -> bool:  # pragma: no cover - shadowed
+        return self.network.is_online(node_id)
+
+    def set_online(self, node_id: str, online: bool) -> None:
+        self.network.set_online(node_id, online)
+
+    def profile(self, node_id: str) -> NodeProfile:  # pragma: no cover - shadowed
+        return self.network.profile(node_id)
+
+    def speed_factor(self, node_id: str) -> float:  # pragma: no cover - shadowed
+        return self.network.speed_factor(node_id)
+
+    def set_speed_factor(self, node_id: str, factor: float) -> None:
+        self.network.set_speed_factor(node_id, factor)
+
+    # -- traffic (shadowed by bound methods in __init__) --------------------
+    def send(self, message: Message) -> float:  # pragma: no cover - shadowed
+        return self.network.send(message)
+
+    def transfer_time(  # pragma: no cover - shadowed
+        self, src: str, dst: str, size_bytes: int
+    ) -> float:
+        return self.network.transfer_time(src, dst, size_bytes)
+
+    def broadcast(self, src: str, kind: str, payload=None, size_bytes: int = 256):
+        return self.network.broadcast(src, kind, payload, size_bytes)
+
+    # -- overlay / chaos pass-throughs --------------------------------------
+    def neighbours(self, node_id: str) -> List[str]:  # pragma: no cover - shadowed
+        return self.network.neighbours(node_id)
+
+    def add_edge(self, a: str, b: str) -> None:
+        self.network.add_edge(a, b)
+
+    def random_overlay(self, degree: int = 4, stream: str = "overlay") -> None:
+        self.network.random_overlay(degree, stream)
+
+    def partition(self, group_a, group_b) -> int:
+        return self.network.partition(group_a, group_b)
+
+    def heal(self, cut_id=None) -> None:
+        self.network.heal(cut_id)
+
+    def partitioned(self, a: str, b: str) -> bool:
+        return self.network.partitioned(a, b)
+
+    # -- observability pass-throughs ----------------------------------------
+    def telemetry_sample(self) -> dict:
+        return self.network.telemetry_sample()
+
+    def trace_liveness_snapshot(self) -> None:
+        self.network.trace_liveness_snapshot()
+
+    # -- discovery hook -----------------------------------------------------
+    def supported_discovery(self) -> tuple[str, ...]:
+        return ("central", "flooding", "rendezvous")

@@ -1,0 +1,418 @@
+"""Canonical wire codec: :class:`~repro.p2p.network.Message` ↔ bytes.
+
+In the simulator a :class:`Message` payload is handed to the receiver as
+the very same Python object, so *anything* — closures, generators, live
+event objects — rides for free.  On a real transport every frame crosses
+a process boundary, which forces three properties the codec pins down:
+
+* **self-describing** — a tagged, recursive encoding covering the value
+  vocabulary the protocol actually uses: scalars, containers, numpy
+  arrays, and the protocol dataclasses (``DeploymentSpec``,
+  ``Advertisement``, ``QuerySpec``, ``ModulePackage``, TrianaType
+  payloads, …).  Dataclasses are encoded *by reference* (module-qualified
+  name + field values), so both endpoints must run the same code — the
+  consumer-grid deployment model of the paper, where workers fetch the
+  module code itself through the repository layer.
+* **canonical** — one value, one byte string.  Dict entries and set
+  members are sorted by their encoded key bytes, floats use fixed-width
+  IEEE-754, arrays are flattened to C order.  Canonical bytes make
+  result checksums (:func:`result_checksum`) comparable across the sim
+  and TCP backends, which is how the e2e suite asserts a localhost run
+  reproduces a simulated one bit-for-bit.
+* **versioned** — every buffer starts with a 4-byte header (magic +
+  version) so incompatible peers fail loudly instead of mis-decoding.
+
+Functions and lambdas are *rejected* with a pointer at
+:class:`~repro.p2p.advertisement.AttrPredicate` — the declarative
+predicate form that replaced the discovery closures precisely so query
+frames could cross the wire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import struct
+from typing import Any
+
+import numpy as np
+
+from ..p2p.network import Message
+
+__all__ = [
+    "WireError",
+    "WIRE_VERSION",
+    "encode",
+    "decode",
+    "encode_message",
+    "decode_message",
+    "result_checksum",
+]
+
+MAGIC = b"RPW"
+WIRE_VERSION = 1
+_HEADER = MAGIC + bytes([WIRE_VERSION])
+
+#: Top-level module prefixes a dataclass/class reference may resolve to.
+#: Decoding a reference imports the module, so this is a deliberate
+#: allowlist, not an optimisation.
+ALLOWED_REF_ROOTS = ("repro", "tests", "benchmarks")
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+
+
+class WireError(Exception):
+    """Raised for unencodable values, bad headers, or corrupt buffers."""
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def encode(obj: Any) -> bytes:
+    """Encode ``obj`` into canonical, versioned wire bytes."""
+    out = bytearray(_HEADER)
+    _enc(obj, out)
+    return bytes(out)
+
+
+def _enc_str(text: str, out: bytearray) -> None:
+    raw = text.encode("utf-8")
+    out += _U32.pack(len(raw))
+    out += raw
+
+
+def _type_ref(cls: type) -> str:
+    module, qualname = cls.__module__, cls.__qualname__
+    if "<locals>" in qualname:
+        raise WireError(f"cannot encode locally-defined class {qualname!r}")
+    root = module.split(".", 1)[0]
+    if root not in ALLOWED_REF_ROOTS:
+        raise WireError(
+            f"class {module}:{qualname} is outside the wire allowlist "
+            f"{ALLOWED_REF_ROOTS}"
+        )
+    return f"{module}:{qualname}"
+
+
+def _enc(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out += b"N"
+        return
+    if obj is True:
+        out += b"T"
+        return
+    if obj is False:
+        out += b"F"
+        return
+    t = type(obj)
+    if t is int:
+        raw = obj.to_bytes((obj.bit_length() + 8) // 8 or 1, "big", signed=True)
+        out += b"i"
+        out += _U32.pack(len(raw))
+        out += raw
+        return
+    if t is float:
+        out += b"f"
+        out += _F64.pack(obj)
+        return
+    if t is str:
+        out += b"s"
+        _enc_str(obj, out)
+        return
+    if t is bytes:
+        out += b"b"
+        out += _U32.pack(len(obj))
+        out += obj
+        return
+    if t is complex:
+        out += b"c"
+        out += _F64.pack(obj.real)
+        out += _F64.pack(obj.imag)
+        return
+    if t is list or t is tuple:
+        out += b"l" if t is list else b"t"
+        out += _U32.pack(len(obj))
+        for item in obj:
+            _enc(item, out)
+        return
+    if t is dict:
+        pairs = []
+        for key, value in obj.items():
+            kb = bytearray()
+            _enc(key, kb)
+            vb = bytearray()
+            _enc(value, vb)
+            pairs.append((bytes(kb), bytes(vb)))
+        pairs.sort(key=lambda p: p[0])
+        out += b"d"
+        out += _U32.pack(len(pairs))
+        for kb, vb in pairs:
+            out += kb
+            out += vb
+        return
+    if t is set or t is frozenset:
+        items = []
+        for item in obj:
+            ib = bytearray()
+            _enc(item, ib)
+            items.append(bytes(ib))
+        items.sort()
+        out += b"x" if t is set else b"X"
+        out += _U32.pack(len(items))
+        for ib in items:
+            out += ib
+        return
+    if isinstance(obj, np.ndarray):
+        if obj.dtype == object:
+            raise WireError("object-dtype ndarrays are not wire-encodable")
+        arr = np.ascontiguousarray(obj)
+        out += b"a"
+        _enc_str(arr.dtype.str, out)
+        out += struct.pack(">B", arr.ndim)
+        for dim in arr.shape:
+            out += _U64.pack(dim)
+        raw = arr.tobytes()
+        out += _U64.pack(len(raw))
+        out += raw
+        return
+    if isinstance(obj, np.generic):
+        out += b"y"
+        _enc_str(obj.dtype.str, out)
+        raw = obj.tobytes()
+        out += _U32.pack(len(raw))
+        out += raw
+        return
+    if isinstance(obj, type):
+        out += b"C"
+        _enc_str(_type_ref(obj), out)
+        return
+    if dataclasses.is_dataclass(obj):
+        flds = dataclasses.fields(obj)
+        out += b"D"
+        _enc_str(_type_ref(type(obj)), out)
+        out += _U32.pack(len(flds))
+        for f in flds:
+            _enc_str(f.name, out)
+            _enc(getattr(obj, f.name), out)
+        return
+    if callable(obj):
+        raise WireError(
+            f"cannot encode callable {obj!r}: discovery predicates must be "
+            "declarative — use repro.p2p.advertisement.AttrPredicate"
+        )
+    if hasattr(obj, "__dict__"):
+        # Plain (non-dataclass) protocol objects — e.g. ``TableData`` —
+        # travel as class-ref + instance state, attrs sorted by name so
+        # the encoding stays canonical.  The allowlist check inside
+        # ``_type_ref`` is the gate.
+        out += b"O"
+        _enc_str(_type_ref(t), out)
+        attrs = sorted(vars(obj).items())
+        out += _U32.pack(len(attrs))
+        for name, value in attrs:
+            _enc_str(name, out)
+            _enc(value, out)
+        return
+    raise WireError(f"type {t.__module__}.{t.__qualname__} is not wire-encodable")
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+
+def decode(data: bytes) -> Any:
+    """Decode wire bytes produced by :func:`encode`."""
+    if len(data) < 4 or data[:3] != MAGIC:
+        raise WireError("bad wire header (not a repro wire frame)")
+    if data[3] != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: frame v{data[3]}, this peer speaks "
+            f"v{WIRE_VERSION}"
+        )
+    obj, pos = _dec(data, 4)
+    if pos != len(data):
+        raise WireError(f"{len(data) - pos} trailing bytes after payload")
+    return obj
+
+
+def _dec_str(data: bytes, pos: int) -> tuple[str, int]:
+    (n,) = _U32.unpack_from(data, pos)
+    pos += 4
+    return data[pos : pos + n].decode("utf-8"), pos + n
+
+
+def _resolve_ref(ref: str) -> Any:
+    module_name, _, qualname = ref.partition(":")
+    root = module_name.split(".", 1)[0]
+    if root not in ALLOWED_REF_ROOTS:
+        raise WireError(f"reference {ref!r} is outside the wire allowlist")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:  # pragma: no cover - env-dependent
+        raise WireError(f"cannot import module for reference {ref!r}: {exc}")
+    target: Any = module
+    for part in qualname.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError:
+            raise WireError(f"reference {ref!r} does not resolve")
+    return target
+
+
+def _dec(data: bytes, pos: int) -> tuple[Any, int]:
+    try:
+        tag = data[pos : pos + 1]
+    except IndexError:  # pragma: no cover - defensive
+        raise WireError("truncated buffer")
+    pos += 1
+    if tag == b"N":
+        return None, pos
+    if tag == b"T":
+        return True, pos
+    if tag == b"F":
+        return False, pos
+    if tag == b"i":
+        (n,) = _U32.unpack_from(data, pos)
+        pos += 4
+        return int.from_bytes(data[pos : pos + n], "big", signed=True), pos + n
+    if tag == b"f":
+        (value,) = _F64.unpack_from(data, pos)
+        return value, pos + 8
+    if tag == b"s":
+        return _dec_str(data, pos)
+    if tag == b"b":
+        (n,) = _U32.unpack_from(data, pos)
+        pos += 4
+        return bytes(data[pos : pos + n]), pos + n
+    if tag == b"c":
+        (real,) = _F64.unpack_from(data, pos)
+        (imag,) = _F64.unpack_from(data, pos + 8)
+        return complex(real, imag), pos + 16
+    if tag in (b"l", b"t"):
+        (n,) = _U32.unpack_from(data, pos)
+        pos += 4
+        items = []
+        for _ in range(n):
+            item, pos = _dec(data, pos)
+            items.append(item)
+        return (items if tag == b"l" else tuple(items)), pos
+    if tag == b"d":
+        (n,) = _U32.unpack_from(data, pos)
+        pos += 4
+        result = {}
+        for _ in range(n):
+            key, pos = _dec(data, pos)
+            value, pos = _dec(data, pos)
+            result[key] = value
+        return result, pos
+    if tag in (b"x", b"X"):
+        (n,) = _U32.unpack_from(data, pos)
+        pos += 4
+        items = []
+        for _ in range(n):
+            item, pos = _dec(data, pos)
+            items.append(item)
+        return (set(items) if tag == b"x" else frozenset(items)), pos
+    if tag == b"a":
+        dtype, pos = _dec_str(data, pos)
+        ndim = data[pos]
+        pos += 1
+        shape = []
+        for _ in range(ndim):
+            (dim,) = _U64.unpack_from(data, pos)
+            pos += 8
+            shape.append(dim)
+        (nbytes,) = _U64.unpack_from(data, pos)
+        pos += 8
+        arr = np.frombuffer(data[pos : pos + nbytes], dtype=np.dtype(dtype))
+        return arr.reshape(shape).copy(), pos + nbytes
+    if tag == b"y":
+        dtype, pos = _dec_str(data, pos)
+        (nbytes,) = _U32.unpack_from(data, pos)
+        pos += 4
+        value = np.frombuffer(data[pos : pos + nbytes], dtype=np.dtype(dtype))[0]
+        return value, pos + nbytes
+    if tag == b"C":
+        ref, pos = _dec_str(data, pos)
+        target = _resolve_ref(ref)
+        if not isinstance(target, type):
+            raise WireError(f"reference {ref!r} is not a class")
+        return target, pos
+    if tag == b"D":
+        ref, pos = _dec_str(data, pos)
+        (n,) = _U32.unpack_from(data, pos)
+        pos += 4
+        pairs = []
+        for _ in range(n):
+            name, pos = _dec_str(data, pos)
+            value, pos = _dec(data, pos)
+            pairs.append((name, value))
+        cls = _resolve_ref(ref)
+        if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
+            raise WireError(f"reference {ref!r} is not a dataclass")
+        field_map = {f.name: f for f in dataclasses.fields(cls)}
+        kwargs = {}
+        deferred = []
+        for name, value in pairs:
+            f = field_map.get(name)
+            if f is None:
+                continue  # field removed on this side; tolerate
+            if f.init:
+                kwargs[f.name] = value
+            else:
+                deferred.append((f.name, value))
+        instance = cls(**kwargs)
+        for name, value in deferred:
+            object.__setattr__(instance, name, value)
+        return instance, pos
+    if tag == b"O":
+        ref, pos = _dec_str(data, pos)
+        (n,) = _U32.unpack_from(data, pos)
+        pos += 4
+        cls = _resolve_ref(ref)
+        if not isinstance(cls, type):
+            raise WireError(f"reference {ref!r} is not a class")
+        # Bypass __init__: the wire carries the instance *state*, and
+        # constructors may validate/transform their arguments.
+        instance = cls.__new__(cls)
+        for _ in range(n):
+            name, pos = _dec_str(data, pos)
+            value, pos = _dec(data, pos)
+            object.__setattr__(instance, name, value)
+        return instance, pos
+    raise WireError(f"unknown wire tag {tag!r} at offset {pos - 1}")
+
+
+# ---------------------------------------------------------------------------
+# message framing + checksums
+# ---------------------------------------------------------------------------
+
+
+def encode_message(message: Message) -> bytes:
+    """Encode one protocol :class:`Message` into a wire frame body."""
+    return encode(message)
+
+
+def decode_message(data: bytes) -> Message:
+    """Decode a frame body back into a :class:`Message`."""
+    obj = decode(data)
+    if not isinstance(obj, Message):
+        raise WireError(f"frame decoded to {type(obj).__name__}, not Message")
+    return obj
+
+
+def result_checksum(obj: Any) -> str:
+    """SHA-256 over the canonical encoding of ``obj``.
+
+    Because the encoding is canonical, the checksum of a run's
+    ``group_results`` is comparable across transports: the acceptance
+    test for the TCP backend asserts a localhost multi-process run
+    produces the same digest as the deterministic simulation.
+    """
+    return hashlib.sha256(encode(obj)).hexdigest()

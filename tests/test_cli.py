@@ -59,6 +59,20 @@ class TestCommands:
         assert "ParallelFarmPolicy" in out
         assert "round_robin" in out and "weighted" in out
 
+    def test_transports_listing(self, capsys):
+        assert main(["transports"]) == 0
+        out = capsys.readouterr().out
+        assert "sim" in out and "tcp" in out
+        assert "bit-identical" in out  # the sim summary line
+        assert "--transport" in out  # the selection hint
+
+    def test_run_rejects_observability_on_tcp(self, graph_file, capsys):
+        assert main(
+            ["run", graph_file, "--workers", "2",
+             "--transport", "tcp", "--trace-out", "t.json"]
+        ) == 1
+        assert "sim transport" in capsys.readouterr().err
+
     def test_validate(self, graph_file, capsys):
         assert main(["validate", graph_file]) == 0
         out = capsys.readouterr().out

@@ -120,6 +120,114 @@ class TestDetectorUnit:
         assert snap["blacklisted"] == []
 
 
+class TestInjectableClock:
+    """The detector's clock seam: same transitions on an injected clock.
+
+    On the TCP transport nobody passes ``now=`` explicitly — the
+    detector reads an injected wall clock instead.  These regressions
+    drive the suspicion → quarantine → blacklist machinery through a
+    fake clock and assert the transitions land at the same instants the
+    explicit-``now`` tests above pin down.
+    """
+
+    @staticmethod
+    def fake_clock():
+        t = [0.0]
+
+        def clock():
+            return t[0]
+
+        return t, clock
+
+    def test_no_clock_and_no_now_is_an_error(self):
+        d = HeartbeatFailureDetector(heartbeat_interval=1.0)
+        with pytest.raises(ValueError, match="no clock"):
+            d.watch("w")
+
+    def test_explicit_now_overrides_clock(self):
+        t, clock = self.fake_clock()
+        d = HeartbeatFailureDetector(heartbeat_interval=1.0, clock=clock)
+        t[0] = 100.0
+        d.watch("w", now=0.0)  # explicit now wins over the clock
+        assert d.workers["w"].last_heartbeat == 0.0
+
+    def test_suspicion_transition_on_fake_clock(self):
+        t, clock = self.fake_clock()
+        d = HeartbeatFailureDetector(
+            heartbeat_interval=1.0, suspect_after_missed=2, clock=clock
+        )
+        d.watch("w")
+        t[0] = 1.9  # inside the 2-interval deadline
+        assert d.check() == []
+        assert d.is_alive("w")
+        t[0] = 2.0  # deadline reached
+        assert d.check() == ["w"]
+        assert not d.is_alive("w")
+        assert d.workers["w"].suspicions == 1
+        t[0] = 2.5  # a heartbeat clears suspicion but not the score scar
+        score = d.workers["w"].score
+        d.observe_heartbeat("w")
+        assert d.is_alive("w")
+        assert d.workers["w"].score == score
+
+    def test_quarantine_transition_on_fake_clock(self):
+        t, clock = self.fake_clock()
+        d = HeartbeatFailureDetector(
+            heartbeat_interval=1.0,
+            quarantine_threshold=0.5,
+            quarantine_window=100.0,
+            clock=clock,
+        )
+        d.watch("w")
+        t[0] = 10.0
+        d.penalise("w", amount=0.6)
+        rec = d.workers["w"]
+        assert rec.quarantines == 1
+        assert rec.quarantined_until == 110.0
+        t[0] = 50.0
+        assert not d.is_dispatchable("w")
+        t[0] = 110.0  # quarantine expires exactly at now + window
+        assert d.is_dispatchable("w")
+
+    def test_blacklist_transition_on_fake_clock(self):
+        t, clock = self.fake_clock()
+        d = HeartbeatFailureDetector(
+            heartbeat_interval=1.0,
+            quarantine_threshold=0.5,
+            quarantine_window=10.0,
+            blacklist_after=2,
+            result_reward=0.5,
+            clock=clock,
+        )
+        d.watch("w")
+        d.penalise("w", amount=0.6)  # quarantine #1
+        t[0] = 5.0
+        d.observe_result("w")  # score recovers
+        t[0] = 20.0
+        d.penalise("w", amount=0.6)  # quarantine #2 -> blacklist
+        assert d.workers["w"].blacklisted
+        t[0] = 1000.0
+        assert not d.is_dispatchable("w")
+        assert d.check() == []
+
+    def test_snapshot_and_telemetry_use_clock(self):
+        t, clock = self.fake_clock()
+        d = HeartbeatFailureDetector(
+            heartbeat_interval=1.0, suspect_after_missed=2, clock=clock
+        )
+        d.watch("a")
+        d.watch("b")
+        t[0] = 1.0
+        d.observe_heartbeat("a")
+        t[0] = 2.5
+        d.check()
+        snap = d.snapshot()
+        assert snap["suspected"] == {"b": 1}
+        assert set(snap["health"]) == {"a", "b"}
+        sample = d.telemetry_sample()
+        assert sample["suspected"] == ["b"]
+
+
 class TestHeartbeatRecovery:
     """Satellite: suspicion-driven redispatch beats the retry-timeout path."""
 

@@ -1,0 +1,128 @@
+"""SimTransport + transport registry: the sim fabric behind the seam.
+
+The refactor's contract is that re-seating every peer on
+:class:`~repro.transport.sim.SimTransport` changes *nothing*: the
+adapter shares the network's stats objects, delegates the hot paths
+by binding bound methods, and the grid's committed behaviour (results,
+traffic counters, chaos models) is bit-identical.
+"""
+
+import pytest
+
+from repro import ConsumerGrid
+from repro.apps.galaxy import build_galaxy_graph, generate_snapshots
+from repro.p2p.network import Message, SimNetwork
+from repro.simkernel import Simulator
+from repro.transport import (
+    SimTransport,
+    Transport,
+    TcpTransport,
+    iter_transports,
+    transport_info,
+    transport_names,
+)
+from repro.transport.wire import result_checksum
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert set(transport_names()) >= {"sim", "tcp"}
+        assert transport_info("sim").cls is SimTransport
+        assert transport_info("tcp").cls is TcpTransport
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            transport_info("carrier-pigeon")
+
+    def test_summaries_present(self):
+        for info in iter_transports():
+            assert info.summary, f"transport {info.name} has no summary"
+            assert issubclass(info.cls, Transport)
+
+
+class TestSimTransportAdapter:
+    def make(self):
+        sim = Simulator(seed=1)
+        net = SimNetwork(sim)
+        return sim, net, SimTransport(net)
+
+    def test_shares_network_state(self):
+        _, net, transport = self.make()
+        assert transport.stats is net.stats
+        assert transport.compute_faults is net.compute_faults
+        assert transport.sim is net.sim
+
+    def test_send_is_the_network_send(self):
+        sim, net, transport = self.make()
+        got = []
+        transport.add_node("a", lambda m: None)
+        transport.add_node("b", got.append)
+        transport.send(Message("ping", "a", "b", payload=42, size_bytes=64))
+        sim.run()
+        assert [m.payload for m in got] == [42]
+        assert net.stats.sent == 1 and net.stats.delivered == 1
+
+    def test_liveness_and_profiles_delegate(self):
+        _, net, transport = self.make()
+        transport.add_node("a", lambda m: None)
+        assert transport.is_online("a")
+        transport.set_online("a", False)
+        assert not net.is_online("a")
+        assert transport.profile("a") is net.profile("a")
+        assert transport.nodes() == net.nodes()
+
+    def test_chaos_apparatus_reachable(self):
+        sim, net, transport = self.make()
+        for node in ("a", "b", "c", "d"):
+            transport.add_node(node, lambda m: None)
+        cut = transport.partition({"a", "b"}, {"c", "d"})
+        assert net.partitioned("a", "c")
+        transport.heal(cut)
+        assert not net.partitioned("a", "c")
+
+    def test_supports_all_discovery_backends(self):
+        _, _, transport = self.make()
+        assert set(transport.supported_discovery()) == {
+            "central", "flooding", "rendezvous",
+        }
+
+
+class TestGridWiring:
+    def test_sim_grid_exposes_both_views(self):
+        grid = ConsumerGrid(n_workers=2, seed=0)
+        assert isinstance(grid.transport, SimTransport)
+        assert isinstance(grid.network, SimNetwork)
+        assert grid.transport.network is grid.network
+        assert grid.transport.stats is grid.network.stats
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            ConsumerGrid(n_workers=2, transport="smoke-signals")
+
+    def test_tcp_rejects_chaos_knobs(self):
+        for knob in (
+            {"loss_fraction": 0.1},
+            {"jitter_fraction": 0.2},
+            {"corrupt_fraction": 0.1},
+            {"duplicate_fraction": 0.1},
+            {"reorder_fraction": 0.1},
+            {"contention": True},
+        ):
+            with pytest.raises(ValueError, match="chaos"):
+                ConsumerGrid(n_workers=1, transport="tcp", **knob)
+
+    def test_tcp_rejects_sim_only_discovery(self):
+        with pytest.raises(ValueError, match="discovery"):
+            ConsumerGrid(n_workers=1, transport="tcp", discovery="flooding")
+
+    def test_sim_runs_are_reproducible_via_checksum(self):
+        generate_snapshots(
+            n_frames=3, n_particles=60, seed=11, register_as="sim-repro"
+        )
+        graph = build_galaxy_graph("sim-repro", resolution=8)
+        digests = []
+        for _ in range(2):
+            grid = ConsumerGrid(n_workers=2, seed=3)
+            report = grid.run(graph, iterations=3)
+            digests.append(result_checksum(report.group_results))
+        assert digests[0] == digests[1]

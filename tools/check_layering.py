@@ -60,6 +60,16 @@ RULES: tuple[tuple[str, str, str], ...] = (
      "faults must not import service (integrity hooks flow one way)"),
     ("repro.mobility", "repro.service",
      "placement logic stays in the service layer (mobility is transport)"),
+    ("repro.transport", "repro.service",
+     "transport is the substrate beneath the service protocol"),
+    ("repro.transport", "repro.mobility",
+     "transport carries module frames; it must not know the cache layer"),
+    ("repro.core", "repro.transport",
+     "core must stay grid-free (no transport imports)"),
+    ("repro.simkernel", "repro.transport",
+     "simkernel is the foundation layer"),
+    ("repro.p2p", "repro.transport",
+     "peers depend on the transport *interface* duck-typed, not the package"),
 )
 
 
